@@ -1,0 +1,269 @@
+package hep
+
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation (regenerating its rows via internal/expt) plus
+// ablation benchmarks for the design decisions DESIGN.md calls out.
+//
+// Benchmarks run the experiments at a reduced dataset scale so the whole
+// suite finishes on a laptop; `go run ./cmd/hep-bench -scale 1` prints the
+// full-size tables.
+
+import (
+	"math"
+	"testing"
+
+	"hep/internal/core"
+	"hep/internal/expt"
+	"hep/internal/gen"
+	"hep/internal/memmodel"
+	"hep/internal/ne"
+	"hep/internal/stream"
+)
+
+const benchScale = 0.12
+
+func benchConfig(datasets ...string) expt.Config {
+	return expt.Config{Scale: benchScale, Datasets: datasets, Ks: []int{4, 32}}
+}
+
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.Figure2(benchConfig("LJ", "WI")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.Figure5(benchConfig("OK", "IT", "TW")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.Figure7(benchConfig("OK", "IT", "TW")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.Figure8(benchConfig("OK")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.Figure9(benchConfig("OK")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.Table2(benchConfig("OK", "IT", "TW")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.Table4(expt.Config{Scale: 0.06, Datasets: []string{"OK"}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.Table5(benchConfig("OK", "IT")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.Table6(benchConfig("OK")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Per-algorithm microbenchmarks on a fixed power-law graph ---
+
+func benchGraph() *MemGraph {
+	return gen.MustDataset("OK").Build(benchScale)
+}
+
+func BenchmarkPartitionHEP100(b *testing.B) { benchPartition(b, Config{Algorithm: AlgoHEP, Tau: 100}) }
+func BenchmarkPartitionHEP10(b *testing.B)  { benchPartition(b, Config{Algorithm: AlgoHEP, Tau: 10}) }
+func BenchmarkPartitionHEP1(b *testing.B)   { benchPartition(b, Config{Algorithm: AlgoHEP, Tau: 1}) }
+func BenchmarkPartitionNE(b *testing.B)     { benchPartition(b, Config{Algorithm: AlgoNE, Seed: 1}) }
+func BenchmarkPartitionSNE(b *testing.B)    { benchPartition(b, Config{Algorithm: AlgoSNE}) }
+func BenchmarkPartitionHDRF(b *testing.B)   { benchPartition(b, Config{Algorithm: AlgoHDRF}) }
+func BenchmarkPartitionDBH(b *testing.B)    { benchPartition(b, Config{Algorithm: AlgoDBH}) }
+func BenchmarkPartitionDNE(b *testing.B) {
+	benchPartition(b, Config{Algorithm: AlgoDNE, Workers: 2, Seed: 1})
+}
+func BenchmarkPartitionMETIS(b *testing.B) { benchPartition(b, Config{Algorithm: AlgoMETIS, Seed: 1}) }
+
+func benchPartition(b *testing.B, cfg Config) {
+	b.Helper()
+	g := benchGraph()
+	cfg.K = 32
+	b.SetBytes(g.NumEdges() * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Partition(g, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation benchmarks (DESIGN.md "Design decisions") ---
+
+// BenchmarkAblationLazyVsEager compares NE++ (lazy edge removal, pruned
+// CSR) against the reference NE (eager invalidation, edge array) on the
+// same input — the §5.4 observation (1) run-time gap.
+func BenchmarkAblationLazyVsEager(b *testing.B) {
+	g := benchGraph()
+	b.Run("NE++-lazy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			h := &core.HEP{Tau: math.Inf(1)}
+			if _, err := h.Partition(g, 32); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("NE-eager", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			a := &ne.NE{Seed: 1}
+			if _, err := a.Partition(g, 32); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationInitStrategy compares sequential seed search (NE++,
+// §3.2.3) against randomized selection (reference NE) on a fragmented
+// graph, where initialization runs often.
+func BenchmarkAblationInitStrategy(b *testing.B) {
+	g := gen.DisconnectedComponents(64, 200, 3, 9)
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			a := &ne.NE{Seed: 1, SequentialInit: true}
+			if _, err := a.Partition(g, 32); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("random", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			a := &ne.NE{Seed: 1}
+			if _, err := a.Partition(g, 32); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationStreamingPhase compares HEP's informed HDRF streaming
+// against random streaming at τ=1, where the streaming phase dominates
+// (§5.4 observation (3)).
+func BenchmarkAblationStreamingPhase(b *testing.B) {
+	g := benchGraph()
+	b.Run("informed-hdrf", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			h := &core.HEP{Tau: 1}
+			if _, err := h.Partition(g, 32); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("random", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			h := &core.HEP{Tau: 1, RandomStream: true, Seed: 1}
+			if _, err := h.Partition(g, 32); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationTauSweep measures the cost of the §4.4 τ footprint
+// pre-computation (Table 2's workload) separately from partitioning.
+func BenchmarkAblationTauSweep(b *testing.B) {
+	g := benchGraph()
+	taus := []float64{100, 50, 20, 10, 5, 2, 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := memmodel.TauSweep(g, 32, taus); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationHDRFDegrees compares streamed partial degrees against an
+// exact-degree pre-pass in standalone HDRF.
+func BenchmarkAblationHDRFDegrees(b *testing.B) {
+	g := benchGraph()
+	b.Run("partial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := (&stream.HDRF{}).Partition(g, 32); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := (&stream.HDRF{ExactDegrees: true}).Partition(g, 32); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkCSRBuild isolates graph-building cost (§4.1: two passes,
+// O(|E|+|V|)).
+func BenchmarkCSRBuild(b *testing.B) {
+	g := benchGraph()
+	b.SetBytes(g.NumEdges() * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EstimateMemory(g, 32, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationParallelBuild compares sequential vs concurrent CSR
+// construction inside a full HEP run (§7 future work: parallelism).
+func BenchmarkAblationParallelBuild(b *testing.B) {
+	g := benchGraph()
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			h := &core.HEP{Tau: 10}
+			if _, err := h.Partition(g, 32); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("workers-2", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			h := &core.HEP{Tau: 10, BuildWorkers: 2}
+			if _, err := h.Partition(g, 32); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,78 @@
+// Command hep-bench regenerates the paper's evaluation tables and figures
+// (§5) from the synthetic dataset stand-ins.
+//
+// Usage:
+//
+//	hep-bench                     # everything at the default scale
+//	hep-bench -exp fig8 -scale 1  # one experiment
+//	hep-bench -exp table4 -datasets OK,IT,TW
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"hep/internal/expt"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment: fig2|fig5|fig7|fig8|fig9|table2|table3|table4|table5|table6|all")
+		scale    = flag.Float64("scale", 0.25, "dataset scale factor")
+		datasets = flag.String("datasets", "", "comma-separated dataset names (default per experiment)")
+		ks       = flag.String("k", "", "comma-separated partition counts (default per experiment)")
+		skipSlow = flag.Bool("skipslow", true, "skip partitioners the paper marks OOT on large graphs")
+	)
+	flag.Parse()
+
+	cfg := expt.Config{Scale: *scale, SkipSlow: *skipSlow, Out: os.Stdout}
+	if *datasets != "" {
+		cfg.Datasets = strings.Split(*datasets, ",")
+	}
+	if *ks != "" {
+		for _, s := range strings.Split(*ks, ",") {
+			k, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hep-bench: bad -k value %q\n", s)
+				os.Exit(2)
+			}
+			cfg.Ks = append(cfg.Ks, k)
+		}
+	}
+
+	runners := map[string]func(expt.Config) error{
+		"fig2":   func(c expt.Config) error { _, err := expt.Figure2(c); return err },
+		"fig5":   func(c expt.Config) error { _, err := expt.Figure5(c); return err },
+		"fig7":   func(c expt.Config) error { _, err := expt.Figure7(c); return err },
+		"fig8":   func(c expt.Config) error { _, err := expt.Figure8(c); return err },
+		"fig9":   func(c expt.Config) error { _, err := expt.Figure9(c); return err },
+		"table2": func(c expt.Config) error { _, err := expt.Table2(c); return err },
+		"table3": func(c expt.Config) error { _, err := expt.Table3(c); return err },
+		"table4": func(c expt.Config) error { _, err := expt.Table4(c); return err },
+		"table5": func(c expt.Config) error { _, err := expt.Table5(c); return err },
+		"table6": func(c expt.Config) error { _, err := expt.Table6(c); return err },
+	}
+	order := []string{"table3", "fig2", "fig5", "fig7", "fig8", "fig9", "table2", "table4", "table5", "table6"}
+
+	if *exp == "all" {
+		for _, name := range order {
+			if err := runners[name](cfg); err != nil {
+				fmt.Fprintf(os.Stderr, "hep-bench: %s: %v\n", name, err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	run, ok := runners[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "hep-bench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+	if err := run(cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "hep-bench: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,84 @@
+// Command hep-gen generates synthetic graphs — the Table 3 dataset
+// stand-ins or raw generator output — as binary edge lists (little-endian
+// uint32 pairs, the input format of hep-partition and of the paper's
+// evaluation).
+//
+// Usage:
+//
+//	hep-gen -dataset OK -scale 1.0 -out ok.bin
+//	hep-gen -gen ba -n 100000 -attach 10 -seed 7 -out ba.bin
+//	hep-gen -gen rmat -rmatscale 18 -edgefactor 16 -out rmat.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hep/internal/edgeio"
+	"hep/internal/gen"
+	"hep/internal/graph"
+)
+
+func main() {
+	var (
+		dataset    = flag.String("dataset", "", "dataset stand-in name ("+strings.Join(gen.DatasetNames(), ",")+")")
+		scale      = flag.Float64("scale", 1.0, "dataset scale factor")
+		generator  = flag.String("gen", "", "raw generator: ba|rmat|er|web|powerlaw|community")
+		n          = flag.Int("n", 100000, "vertex count (ba/er/powerlaw/community)")
+		m          = flag.Int("m", 500000, "edge count (er)")
+		attach     = flag.Int("attach", 8, "attachments per vertex (ba/community)")
+		rmatScale  = flag.Int("rmatscale", 16, "log2 vertex count (rmat)")
+		edgeFactor = flag.Int("edgefactor", 16, "edges per vertex (rmat)")
+		gamma      = flag.Float64("gamma", 2.2, "power-law exponent (powerlaw)")
+		mixing     = flag.Float64("mixing", 0.2, "community mixing fraction (community)")
+		seed       = flag.Int64("seed", 42, "generator seed")
+		out        = flag.String("out", "", "output path (required)")
+	)
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "hep-gen: -out is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var g *graph.MemGraph
+	switch {
+	case *dataset != "":
+		d, ok := gen.Datasets[*dataset]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "hep-gen: unknown dataset %q\n", *dataset)
+			os.Exit(2)
+		}
+		g = d.Build(*scale)
+	case *generator != "":
+		switch *generator {
+		case "ba":
+			g = gen.BarabasiAlbert(*n, *attach, *seed)
+		case "rmat":
+			g = gen.RMAT(*rmatScale, *edgeFactor, 0.57, 0.19, 0.19, *seed)
+		case "er":
+			g = gen.ErdosRenyi(*n, *m, *seed)
+		case "web":
+			g = gen.WebGraph(*n/40+1, 40, 6, 0.03, *seed)
+		case "powerlaw":
+			g = gen.PowerLawConfig(*n, *gamma, 2, 10000, *seed)
+		case "community":
+			g = gen.CommunityPowerLaw(*n, *n/200+1, *attach, *mixing, *seed)
+		default:
+			fmt.Fprintf(os.Stderr, "hep-gen: unknown generator %q\n", *generator)
+			os.Exit(2)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "hep-gen: pass -dataset or -gen")
+		os.Exit(2)
+	}
+
+	if err := edgeio.WriteBinaryFile(*out, g.E); err != nil {
+		fmt.Fprintf(os.Stderr, "hep-gen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s: %d vertices, %d edges (%.1f MiB)\n",
+		*out, g.NumVertices(), g.NumEdges(), float64(g.NumEdges()*8)/(1<<20))
+}

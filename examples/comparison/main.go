@@ -1,0 +1,56 @@
+// Side-by-side comparison of every implemented partitioner on one graph —
+// a miniature of the paper's Figure 8. Run with:
+//
+//	go run ./examples/comparison
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"hep"
+)
+
+func main() {
+	g := hep.Dataset("OK", 0.15)
+	k := 32
+	fmt.Printf("graph: %d vertices, %d edges, k=%d\n", g.NumVertices(), g.NumEdges(), k)
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "algorithm\tRF\tbalance α\tvertex bal\ttime")
+	for _, cfg := range []hep.Config{
+		{Algorithm: hep.AlgoHEP, Tau: 100},
+		{Algorithm: hep.AlgoHEP, Tau: 10},
+		{Algorithm: hep.AlgoHEP, Tau: 1},
+		{Algorithm: hep.AlgoNEPP},
+		{Algorithm: hep.AlgoNE, Seed: 1},
+		{Algorithm: hep.AlgoSNE},
+		{Algorithm: hep.AlgoDNE, Workers: 2, Seed: 1},
+		{Algorithm: hep.AlgoMETIS, Seed: 1},
+		{Algorithm: hep.AlgoHDRF},
+		{Algorithm: hep.AlgoGreedy},
+		{Algorithm: hep.AlgoADWISE},
+		{Algorithm: hep.AlgoDBH},
+		{Algorithm: hep.AlgoGrid},
+		{Algorithm: hep.AlgoRandom, Seed: 1},
+	} {
+		cfg.K = k
+		label := cfg.Algorithm
+		if cfg.Algorithm == hep.AlgoHEP {
+			label = fmt.Sprintf("hep(τ=%g)", cfg.Tau)
+		}
+		start := time.Now()
+		res, err := hep.Partition(g, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := hep.Summarize(label, res)
+		fmt.Fprintf(w, "%s\t%.3f\t%.3f\t%.3f\t%s\n",
+			label, s.ReplicationFactor, s.Balance, s.VertexBalance,
+			time.Since(start).Round(time.Millisecond))
+	}
+	w.Flush()
+}

@@ -1,0 +1,41 @@
+// Hypergraph partitioning: the paper's closing future-work direction (§7),
+// implemented as HHEP — the hybrid in-memory + streaming paradigm applied
+// to hyperedge partitioning. Run with:
+//
+//	go run ./examples/hypergraph
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"hep/internal/hyper"
+)
+
+func main() {
+	// A database-workload-like hypergraph: transactions (hyperedges) touch
+	// 2-8 records (vertices), mostly within their tenant (community).
+	h := hyper.CommunityHypergraph(20_000, 60_000, 100, 2, 8, 0.1, 42)
+	k := 32
+	fmt.Printf("hypergraph: %d vertices, %d hyperedges, %d pins, k=%d\n\n",
+		h.N, len(h.Edges), h.NumPins(), k)
+
+	for _, tau := range []float64{math.Inf(1), 10, 2} {
+		p := &hyper.HHEP{Tau: tau}
+		res, err := p.Partition(h, k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-9s replication factor %.3f  balance α %.3f\n",
+			p.Name(), res.ReplicationFactor(), res.Balance())
+	}
+
+	rres, err := hyper.Random(h, k, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-9s replication factor %.3f  balance α %.3f\n",
+		"random", rres.ReplicationFactor(), rres.Balance())
+	fmt.Println("\nhybrid hyperedge partitioning keeps tenants together; random scatters them")
+}

@@ -1,0 +1,48 @@
+// Memory-bounded partitioning of a web graph: the paper's §4.4 workflow.
+// Given a memory budget, pre-compute the τ footprint curve, pick the
+// largest τ that fits, and partition — trading just enough quality to stay
+// inside the budget. Run with:
+//
+//	go run ./examples/webgraph
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"hep"
+)
+
+func main() {
+	g := hep.Dataset("UK", 0.4)
+	k := 32
+	fmt.Printf("web graph: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
+
+	full, err := hep.EstimateMemory(g, k, math.Inf(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("full in-memory footprint (τ=∞): %.1f MiB\n\n", mib(full))
+
+	candidates := []float64{100, 50, 20, 10, 5, 2, 1}
+	for _, budget := range []int64{full * 2, full * 3 / 4, full / 2, full / 4} {
+		tau, ok, err := hep.ChooseTau(g, k, candidates, budget)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !ok {
+			fmt.Printf("budget %6.1f MiB: no candidate τ fits — graph needs more memory or lower τ candidates\n", mib(budget))
+			continue
+		}
+		res, err := hep.Partition(g, hep.Config{Algorithm: hep.AlgoHEP, K: k, Tau: tau})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("budget %6.1f MiB → τ=%-4g → replication factor %.3f (balance α=%.3f)\n",
+			mib(budget), tau, res.ReplicationFactor(), res.Balance())
+	}
+	fmt.Println("\nsmaller budgets force lower τ: more edges stream, replication factor rises")
+}
+
+func mib(b int64) float64 { return float64(b) / (1 << 20) }

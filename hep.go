@@ -1,0 +1,232 @@
+// Package hep is the public API of the Hybrid Edge Partitioner library, a
+// from-scratch Go reproduction of "Hybrid Edge Partitioner: Partitioning
+// Large Power-Law Graphs under Memory Constraints" (Mayer & Jacobsen,
+// SIGMOD 2021).
+//
+// The package partitions the edge set of an undirected graph into k
+// balanced parts while minimizing the replication factor (the average
+// number of parts each vertex appears in). The flagship algorithm is HEP:
+// edges incident to at least one low-degree vertex are partitioned in
+// memory by NE++, a memory-efficient neighborhood-expansion algorithm over
+// a pruned CSR; edges between two high-degree vertices are partitioned by
+// informed stateful streaming (HDRF scoring seeded with NE++'s replication
+// state). The degree threshold factor τ (Config.Tau) trades memory for
+// quality.
+//
+// Quick start:
+//
+//	g := hep.Dataset("OK", 1.0)                       // or hep.NewGraph / hep.ReadBinaryFile
+//	res, err := hep.Partition(g, hep.Config{Algorithm: hep.AlgoHEP, K: 32, Tau: 10})
+//	fmt.Println(res.ReplicationFactor(), res.Balance())
+//
+// Every baseline the paper evaluates is available through the same Config
+// (NE, SNE, DNE, METIS-style multilevel, HDRF, DBH, Greedy, Grid, ADWISE,
+// Random), and internal/expt regenerates every table and figure of the
+// paper's evaluation.
+package hep
+
+import (
+	"fmt"
+	"math"
+
+	"hep/internal/core"
+	"hep/internal/dne"
+	"hep/internal/edgeio"
+	"hep/internal/gen"
+	"hep/internal/graph"
+	"hep/internal/hybrid"
+	"hep/internal/memmodel"
+	"hep/internal/metrics"
+	"hep/internal/mlp"
+	"hep/internal/ne"
+	"hep/internal/part"
+	"hep/internal/restream"
+	"hep/internal/stream"
+)
+
+// Re-exported core types. Internal packages implement them; the aliases
+// make them part of the public API.
+type (
+	// Edge is an undirected edge with 32-bit vertex ids.
+	Edge = graph.Edge
+	// EdgeStream is a restartable source of edges.
+	EdgeStream = graph.EdgeStream
+	// MemGraph is an in-memory edge list implementing EdgeStream.
+	MemGraph = graph.MemGraph
+	// Result is a k-way partitioning: per-partition edge counts and
+	// vertex replica sets, with quality metrics as methods.
+	Result = part.Result
+	// Algorithm is the common partitioner interface.
+	Algorithm = part.Algorithm
+	// Sink observes every edge assignment.
+	Sink = part.Sink
+	// Summary is the standard metric row (RF, balance, vertex balance).
+	Summary = metrics.Summary
+)
+
+// Algorithm names accepted by Config.Algorithm.
+const (
+	AlgoHEP          = "hep"
+	AlgoNEPP         = "ne++" // pure NE++ (HEP with τ=∞)
+	AlgoNE           = "ne"
+	AlgoSNE          = "sne"
+	AlgoDNE          = "dne"
+	AlgoMETIS        = "metis"
+	AlgoHDRF         = "hdrf"
+	AlgoDBH          = "dbh"
+	AlgoGreedy       = "greedy"
+	AlgoGrid         = "grid"
+	AlgoADWISE       = "adwise"
+	AlgoRandom       = "random"
+	AlgoSimpleHybrid = "simple-hybrid"
+	AlgoRestream     = "rehdrf"
+)
+
+// Config selects and parameterizes a partitioner.
+type Config struct {
+	// Algorithm is one of the Algo* constants (default AlgoHEP).
+	Algorithm string
+	// K is the number of partitions (required, ≥ 1).
+	K int
+	// Tau is HEP's degree threshold factor τ; 0 or +Inf disables pruning
+	// (pure NE++). The paper evaluates τ ∈ {100, 10, 1}.
+	Tau float64
+	// Alpha is the edge balance bound α ≥ 1 where applicable.
+	Alpha float64
+	// Lambda is the HDRF balance weight (default 1.1).
+	Lambda float64
+	// Seed makes randomized algorithms deterministic.
+	Seed int64
+	// Workers bounds DNE's concurrency.
+	Workers int
+	// Window sizes ADWISE's edge buffer.
+	Window int
+	// Passes is the number of re-streaming passes for AlgoRestream.
+	Passes int
+	// Sink, if set, receives every edge assignment.
+	Sink Sink
+}
+
+// New returns the partitioner selected by cfg.
+func New(cfg Config) (Algorithm, error) {
+	name := cfg.Algorithm
+	if name == "" {
+		name = AlgoHEP
+	}
+	var a Algorithm
+	switch name {
+	case AlgoHEP:
+		a = &core.HEP{Tau: cfg.Tau, Alpha: cfg.Alpha, Lambda: cfg.Lambda, Seed: cfg.Seed}
+	case AlgoNEPP:
+		a = &core.HEP{Tau: math.Inf(1), Alpha: cfg.Alpha, Lambda: cfg.Lambda}
+	case AlgoNE:
+		a = &ne.NE{Seed: cfg.Seed}
+	case AlgoSNE:
+		a = &ne.SNE{}
+	case AlgoDNE:
+		a = &dne.DNE{Workers: cfg.Workers, Seed: cfg.Seed}
+	case AlgoMETIS:
+		a = &mlp.MLP{Seed: cfg.Seed}
+	case AlgoHDRF:
+		a = &stream.HDRF{Lambda: cfg.Lambda, Alpha: cfg.Alpha}
+	case AlgoDBH:
+		a = &stream.DBH{}
+	case AlgoGreedy:
+		a = &stream.Greedy{Alpha: cfg.Alpha}
+	case AlgoGrid:
+		a = &stream.Grid{}
+	case AlgoADWISE:
+		a = &stream.ADWISE{Window: cfg.Window, Lambda: cfg.Lambda, Alpha: cfg.Alpha}
+	case AlgoRandom:
+		a = &stream.Random{Seed: cfg.Seed, Alpha: cfg.Alpha}
+	case AlgoSimpleHybrid:
+		tau := cfg.Tau
+		if tau == 0 {
+			tau = 10
+		}
+		a = &hybrid.Simple{Tau: tau, Seed: cfg.Seed}
+	case AlgoRestream:
+		a = &restream.Restream{Passes: cfg.Passes, Lambda: cfg.Lambda, Alpha: cfg.Alpha}
+	default:
+		return nil, fmt.Errorf("hep: unknown algorithm %q", name)
+	}
+	if cfg.Sink != nil {
+		a.(part.SinkSetter).SetSink(cfg.Sink)
+	}
+	return a, nil
+}
+
+// Partition runs the configured partitioner over src.
+func Partition(src EdgeStream, cfg Config) (*Result, error) {
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("hep: K must be ≥ 1, got %d", cfg.K)
+	}
+	a, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return a.Partition(src, cfg.K)
+}
+
+// Algorithms lists the accepted Config.Algorithm values.
+func Algorithms() []string {
+	return []string{
+		AlgoHEP, AlgoNEPP, AlgoNE, AlgoSNE, AlgoDNE, AlgoMETIS,
+		AlgoHDRF, AlgoDBH, AlgoGreedy, AlgoGrid, AlgoADWISE, AlgoRandom,
+		AlgoSimpleHybrid, AlgoRestream,
+	}
+}
+
+// NewGraph wraps an edge list (n inferred if 0) as an EdgeStream.
+func NewGraph(n int, edges []Edge) *MemGraph {
+	if n <= 0 {
+		return graph.FromEdges(edges)
+	}
+	return graph.NewMemGraph(n, edges)
+}
+
+// Dataset builds the named synthetic stand-in for one of the paper's
+// evaluation graphs (Table 3: LJ, OK, BR, WI, IT, TW, FR, UK, GSH, WDC) at
+// the given scale factor. It panics on unknown names; see DatasetNames.
+func Dataset(name string, scale float64) *MemGraph {
+	return gen.MustDataset(name).Build(scale)
+}
+
+// DatasetNames lists the dataset registry.
+func DatasetNames() []string { return gen.DatasetNames() }
+
+// ReadBinaryFile loads a binary edge list (consecutive little-endian
+// uint32 pairs, the paper's input format).
+func ReadBinaryFile(path string) ([]Edge, error) { return edgeio.ReadBinaryFile(path) }
+
+// WriteBinaryFile writes a binary edge list.
+func WriteBinaryFile(path string, edges []Edge) error {
+	return edgeio.WriteBinaryFile(path, edges)
+}
+
+// OpenBinaryFile opens a binary edge list as a streaming EdgeStream
+// without loading it into memory (n may be 0 to discover the vertex count).
+func OpenBinaryFile(path string, n int) (EdgeStream, error) {
+	return edgeio.OpenFile(path, n)
+}
+
+// Summarize computes the standard quality metrics of a result.
+func Summarize(name string, res *Result) Summary { return metrics.Summarize(name, res) }
+
+// ChooseTau returns the largest τ among candidates whose HEP footprint
+// (paper §4.2 model with exact column-array sizes) fits budgetBytes — the
+// paper's §4.4 recipe for partitioning under a memory bound. The boolean
+// reports whether any candidate fits.
+func ChooseTau(src EdgeStream, k int, candidates []float64, budgetBytes int64) (float64, bool, error) {
+	return memmodel.ChooseTau(src, k, candidates, budgetBytes)
+}
+
+// EstimateMemory evaluates the §4.2 memory model for one τ given the
+// graph's degree sequence.
+func EstimateMemory(src EdgeStream, k int, tau float64) (int64, error) {
+	deg, m, err := graph.Degrees(src)
+	if err != nil {
+		return 0, err
+	}
+	return memmodel.Estimate(deg, m, k, tau).Total(), nil
+}

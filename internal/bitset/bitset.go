@@ -1,0 +1,110 @@
+// Package bitset provides a dense, fixed-capacity bitset keyed by vertex id.
+//
+// HEP uses one dense bitset per partition to track the secondary/replica set
+// S_i and one global bitset for the core set C (paper §4.2, item 4). The
+// representation is a plain []uint64, so a set over |V| vertices costs
+// |V|/8 bytes, matching the paper's memory accounting.
+package bitset
+
+import "math/bits"
+
+// Set is a dense bitset over the domain [0, Cap()).
+// The zero value is an empty set of capacity zero; use New.
+type Set struct {
+	words []uint64
+	n     int
+}
+
+// New returns an empty set with capacity for n elements.
+func New(n int) *Set {
+	if n < 0 {
+		n = 0
+	}
+	return &Set{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Cap returns the capacity (the domain size) of the set.
+func (s *Set) Cap() int { return s.n }
+
+// Set adds i to the set. i must be in [0, Cap()).
+func (s *Set) Set(i uint32) {
+	s.words[i>>6] |= 1 << (i & 63)
+}
+
+// Clear removes i from the set.
+func (s *Set) Clear(i uint32) {
+	s.words[i>>6] &^= 1 << (i & 63)
+}
+
+// Has reports whether i is in the set.
+func (s *Set) Has(i uint32) bool {
+	return s.words[i>>6]&(1<<(i&63)) != 0
+}
+
+// TestAndSet adds i and reports whether it was already present.
+func (s *Set) TestAndSet(i uint32) bool {
+	w, b := i>>6, uint64(1)<<(i&63)
+	old := s.words[w]
+	s.words[w] = old | b
+	return old&b != 0
+}
+
+// Count returns the number of elements in the set.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Reset removes all elements, keeping capacity.
+func (s *Set) Reset() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Range calls fn for every element in ascending order. It stops early if fn
+// returns false.
+func (s *Set) Range(fn func(i uint32) bool) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := uint32(bits.TrailingZeros64(w))
+			if !fn(uint32(wi)<<6 | b) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// Union adds every element of o to s. Both sets must have the same capacity.
+func (s *Set) Union(o *Set) {
+	for i, w := range o.words {
+		s.words[i] |= w
+	}
+}
+
+// IntersectionCount returns |s ∩ o| without materializing the intersection.
+func (s *Set) IntersectionCount(o *Set) int {
+	c := 0
+	n := len(s.words)
+	if len(o.words) < n {
+		n = len(o.words)
+	}
+	for i := 0; i < n; i++ {
+		c += bits.OnesCount64(s.words[i] & o.words[i])
+	}
+	return c
+}
+
+// Clone returns a deep copy of the set.
+func (s *Set) Clone() *Set {
+	w := make([]uint64, len(s.words))
+	copy(w, s.words)
+	return &Set{words: w, n: s.n}
+}
+
+// Bytes returns the memory footprint of the set's payload in bytes.
+func (s *Set) Bytes() int64 { return int64(len(s.words)) * 8 }

@@ -1,0 +1,165 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetHasClear(t *testing.T) {
+	s := New(200)
+	if s.Has(0) || s.Has(199) {
+		t.Fatal("new set not empty")
+	}
+	s.Set(0)
+	s.Set(63)
+	s.Set(64)
+	s.Set(199)
+	for _, i := range []uint32{0, 63, 64, 199} {
+		if !s.Has(i) {
+			t.Errorf("missing %d", i)
+		}
+	}
+	if s.Count() != 4 {
+		t.Errorf("count = %d, want 4", s.Count())
+	}
+	s.Clear(63)
+	if s.Has(63) {
+		t.Error("63 still present after Clear")
+	}
+	if s.Count() != 3 {
+		t.Errorf("count = %d, want 3", s.Count())
+	}
+}
+
+func TestTestAndSet(t *testing.T) {
+	s := New(10)
+	if s.TestAndSet(5) {
+		t.Fatal("first TestAndSet reported present")
+	}
+	if !s.TestAndSet(5) {
+		t.Fatal("second TestAndSet reported absent")
+	}
+}
+
+func TestRangeOrderAndEarlyStop(t *testing.T) {
+	s := New(300)
+	want := []uint32{1, 64, 65, 128, 256, 299}
+	for _, v := range want {
+		s.Set(v)
+	}
+	var got []uint32
+	s.Range(func(i uint32) bool {
+		got = append(got, i)
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order mismatch: got %v want %v", got, want)
+		}
+	}
+	count := 0
+	s.Range(func(i uint32) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Errorf("early stop visited %d", count)
+	}
+}
+
+func TestUnionIntersectionClone(t *testing.T) {
+	a, b := New(128), New(128)
+	a.Set(1)
+	a.Set(100)
+	b.Set(100)
+	b.Set(101)
+	if got := a.IntersectionCount(b); got != 1 {
+		t.Errorf("intersection = %d, want 1", got)
+	}
+	c := a.Clone()
+	c.Union(b)
+	if c.Count() != 3 {
+		t.Errorf("union count = %d, want 3", c.Count())
+	}
+	if a.Count() != 2 {
+		t.Error("clone mutated the original")
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := New(100)
+	for i := uint32(0); i < 100; i += 3 {
+		s.Set(i)
+	}
+	s.Reset()
+	if s.Count() != 0 {
+		t.Errorf("count after reset = %d", s.Count())
+	}
+	if s.Cap() != 100 {
+		t.Errorf("cap changed to %d", s.Cap())
+	}
+}
+
+func TestZeroCapacity(t *testing.T) {
+	s := New(0)
+	if s.Count() != 0 || s.Cap() != 0 {
+		t.Fatal("zero-capacity set misbehaves")
+	}
+	neg := New(-5)
+	if neg.Cap() != 0 {
+		t.Fatal("negative capacity not clamped")
+	}
+}
+
+// TestQuickAgainstMap cross-checks the bitset against a map-based model
+// under random operation sequences.
+func TestQuickAgainstMap(t *testing.T) {
+	f := func(seed int64, opsRaw []uint16) bool {
+		const n = 500
+		s := New(n)
+		model := map[uint32]bool{}
+		rng := rand.New(rand.NewSource(seed))
+		for _, raw := range opsRaw {
+			v := uint32(raw) % n
+			switch rng.Intn(3) {
+			case 0:
+				s.Set(v)
+				model[v] = true
+			case 1:
+				s.Clear(v)
+				delete(model, v)
+			case 2:
+				if s.Has(v) != model[v] {
+					return false
+				}
+			}
+		}
+		if s.Count() != len(model) {
+			return false
+		}
+		ok := true
+		s.Range(func(i uint32) bool {
+			if !model[i] {
+				ok = false
+			}
+			return ok
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBytes(t *testing.T) {
+	if b := New(64).Bytes(); b != 8 {
+		t.Errorf("Bytes() = %d, want 8", b)
+	}
+	if b := New(65).Bytes(); b != 16 {
+		t.Errorf("Bytes() = %d, want 16", b)
+	}
+}

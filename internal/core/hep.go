@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"hep/internal/graph"
+	"hep/internal/part"
+	"hep/internal/stream"
+)
+
+// HEP is the Hybrid Edge Partitioner (paper §3): edges incident to at least
+// one low-degree vertex are partitioned in memory by NE++, edges between
+// two high-degree vertices by informed stateful streaming with HDRF
+// scoring. Tau is the memory knob: lower values prune more of the graph out
+// of memory at the cost of replication factor (paper §4.4).
+type HEP struct {
+	part.SinkHolder
+
+	// Tau is the degree threshold factor τ: v is high-degree iff
+	// d(v) > τ·mean degree. math.Inf(1) disables pruning, turning HEP into
+	// pure NE++. The paper evaluates τ ∈ {100, 10, 1}.
+	Tau float64
+	// Alpha is the balance bound α ≥ 1 for the streaming phase (default
+	// 1.0: perfect balance, matching the paper's reported behavior).
+	Alpha float64
+	// Lambda is the HDRF balance weight (default 1.1, Appendix A).
+	Lambda float64
+	// H2HStore overrides the spill store for E_h2h (default in-memory;
+	// use edgeio.NewFileH2H for out-of-core spilling).
+	H2HStore graph.H2HStore
+	// RandomStream replaces the informed HDRF streaming phase with random
+	// streaming (ablation: isolates the value of informed streaming).
+	RandomStream bool
+	// Seed drives RandomStream.
+	Seed int64
+	// Tracer observes NE++ column-array accesses (paging simulation).
+	Tracer Tracer
+	// BuildWorkers > 1 builds the CSR with the concurrent two-pass
+	// builder (§7 future work: parallelism); results are identical to the
+	// sequential build.
+	BuildWorkers int
+
+	// LastStats holds the NE++ statistics of the most recent run.
+	LastStats Stats
+}
+
+// Name implements part.Algorithm, following the paper's HEP-τ convention.
+func (h *HEP) Name() string {
+	if math.IsInf(h.Tau, 1) || h.Tau == 0 {
+		return "NE++"
+	}
+	return fmt.Sprintf("HEP-%g", h.Tau)
+}
+
+func (h *HEP) params() (tau, alpha, lambda float64) {
+	tau = h.Tau
+	if tau == 0 {
+		tau = math.Inf(1)
+	}
+	alpha = h.Alpha
+	if alpha < 1 {
+		alpha = 1.0
+	}
+	lambda = h.Lambda
+	if lambda == 0 {
+		lambda = stream.DefaultLambda
+	}
+	return tau, alpha, lambda
+}
+
+// Partition implements part.Algorithm: it builds the pruned CSR (two passes
+// over src), runs NE++, then streams E_h2h.
+func (h *HEP) Partition(src graph.EdgeStream, k int) (*part.Result, error) {
+	tau, _, _ := h.params()
+	var csr *graph.CSR
+	var err error
+	if h.BuildWorkers > 1 {
+		csr, err = graph.BuildCSRParallel(src, tau, h.H2HStore, h.BuildWorkers)
+	} else {
+		csr, err = graph.BuildCSR(src, tau, h.H2HStore)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return h.PartitionCSR(csr, k)
+}
+
+// PartitionCSR runs HEP over a pre-built CSR. The CSR is consumed (NE++
+// removes edges); build a fresh one per run.
+func (h *HEP) PartitionCSR(csr *graph.CSR, k int) (*part.Result, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("core: k must be ≥ 1, got %d", k)
+	}
+	_, alpha, lambda := h.params()
+
+	res := part.NewResult(csr.N(), k)
+	res.Sink = h.Sink
+
+	// Phase 1: in-memory partitioning via NE++ (§3.2).
+	ne := NewNEPP(csr, k, res, h.Tracer)
+	ne.Run()
+	h.LastStats = ne.Stats()
+
+	// Phase 2: informed stateful streaming over E_h2h (§3.3). The replica
+	// sets in res carry the NE++ state, so HDRF placements are informed.
+	if csr.H2H().Len() > 0 {
+		h2h := h2hStream{store: csr.H2H(), n: csr.N()}
+		var err error
+		if h.RandomStream {
+			err = stream.RunRandom(h2h, res, h.Seed, alpha, csr.M())
+		} else {
+			err = stream.RunHDRF(h2h, res, csr.Degrees(), lambda, alpha, csr.M())
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// h2hStream adapts an H2HStore to graph.EdgeStream.
+type h2hStream struct {
+	store graph.H2HStore
+	n     int
+}
+
+func (s h2hStream) NumVertices() int { return s.n }
+
+func (s h2hStream) NumEdges() int64 { return s.store.Len() }
+
+func (s h2hStream) Edges(yield func(u, v graph.V) bool) error {
+	return s.store.Edges(yield)
+}

@@ -1,0 +1,82 @@
+package dne
+
+import (
+	"testing"
+
+	"hep/internal/gen"
+)
+
+func TestDNESingleWorkerDeterministic(t *testing.T) {
+	g := gen.BarabasiAlbert(1000, 5, 1)
+	run := func() []int64 {
+		res, err := (&DNE{Workers: 1, Seed: 7}).Partition(g, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Counts
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("workers=1 run not deterministic at partition %d", i)
+		}
+	}
+}
+
+func TestDNEAllEdgesClaimedUnderConcurrency(t *testing.T) {
+	g := gen.CommunityPowerLaw(3000, 30, 6, 0.2, 2)
+	for _, workers := range []int{1, 2, 4} {
+		res, err := (&DNE{Workers: workers, Seed: 3}).Partition(g, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.M != g.NumEdges() {
+			t.Fatalf("workers=%d: assigned %d of %d", workers, res.M, g.NumEdges())
+		}
+		var total int64
+		for _, c := range res.Counts {
+			total += c
+		}
+		if total != g.NumEdges() {
+			t.Fatalf("workers=%d: counts sum %d", workers, total)
+		}
+	}
+}
+
+func TestDNEBalanceFactorRespectedByExpanders(t *testing.T) {
+	// The expander-side bound is BalanceFactor·|E|/k; the final sweep can
+	// add more but targets the least-loaded partition, so the result stays
+	// within a generous multiple.
+	g := gen.BarabasiAlbert(2000, 6, 3)
+	res, err := (&DNE{Workers: 2, Seed: 4, BalanceFactor: 1.05}).Partition(g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Balance() > 2.0 {
+		t.Errorf("balance α = %.2f beyond tolerated degradation", res.Balance())
+	}
+}
+
+func TestDNEKExceedsVertices(t *testing.T) {
+	g := gen.Path(4)
+	res, err := (&DNE{Workers: 1, Seed: 5}).Partition(g, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.M != g.NumEdges() {
+		t.Fatalf("assigned %d of %d", res.M, g.NumEdges())
+	}
+}
+
+func TestDNEExpansionRatioKnob(t *testing.T) {
+	g := gen.BarabasiAlbert(1500, 5, 6)
+	for _, ratio := range []float64{0.01, 0.1, 1.0} {
+		res, err := (&DNE{Workers: 1, Seed: 6, ExpansionRatio: ratio}).Partition(g, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.M != g.NumEdges() {
+			t.Fatalf("ratio=%v: incomplete assignment", ratio)
+		}
+	}
+}

@@ -1,0 +1,222 @@
+package edgeio
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hep/internal/gen"
+	"hep/internal/graph"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	edges := gen.BarabasiAlbert(200, 3, 1).E
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, edges); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != len(edges)*8 {
+		t.Fatalf("binary size = %d, want %d", buf.Len(), len(edges)*8)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(edges) {
+		t.Fatalf("got %d edges", len(got))
+	}
+	for i := range edges {
+		if got[i] != edges[i] {
+			t.Fatalf("edge %d mismatch", i)
+		}
+	}
+}
+
+func TestBinaryTruncated(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader([]byte{1, 2, 3})); err == nil {
+		t.Fatal("truncated input accepted")
+	}
+}
+
+func TestTextRoundTripAndComments(t *testing.T) {
+	in := "# comment\n% header\n\n1 2\n3 4 extra-ignored\n"
+	got, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != (graph.Edge{U: 1, V: 2}) || got[1] != (graph.Edge{U: 3, V: 4}) {
+		t.Fatalf("got %v", got)
+	}
+	var buf bytes.Buffer
+	if err := WriteText(&buf, got); err != nil {
+		t.Fatal(err)
+	}
+	again, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != 2 {
+		t.Fatalf("round trip lost edges: %v", again)
+	}
+}
+
+func TestTextErrors(t *testing.T) {
+	if _, err := ReadText(strings.NewReader("abc def\n")); err == nil {
+		t.Fatal("non-numeric accepted")
+	}
+	if _, err := ReadText(strings.NewReader("12\n")); err == nil {
+		t.Fatal("single-field line accepted")
+	}
+	if _, err := ReadText(strings.NewReader("1 99999999999\n")); err == nil {
+		t.Fatal("overflow accepted")
+	}
+}
+
+func TestFileStream(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.bin")
+	g := gen.BarabasiAlbert(100, 3, 2)
+	if err := WriteBinaryFile(path, g.E); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := OpenFile(path, 0) // discover n
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumVertices() != g.NumVertices() {
+		t.Fatalf("n = %d, want %d", f.NumVertices(), g.NumVertices())
+	}
+	if f.NumEdges() != g.NumEdges() {
+		t.Fatalf("m = %d, want %d", f.NumEdges(), g.NumEdges())
+	}
+	// Stream must be restartable (two passes, like the CSR builder).
+	for pass := 0; pass < 2; pass++ {
+		i := 0
+		err := f.Edges(func(u, v graph.V) bool {
+			if g.E[i] != (graph.Edge{U: u, V: v}) {
+				t.Fatalf("pass %d edge %d mismatch", pass, i)
+			}
+			i++
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(i) != g.NumEdges() {
+			t.Fatalf("pass %d saw %d edges", pass, i)
+		}
+	}
+	// Early stop must not error.
+	if err := f.Edges(func(u, v graph.V) bool { return false }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenFileErrors(t *testing.T) {
+	if _, err := OpenFile("/nonexistent/x.bin", 0); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.bin")
+	if err := WriteBinaryFile(bad, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt size: 5 bytes.
+	if err := writeRaw(bad, []byte{1, 2, 3, 4, 5}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFile(bad, 0); err == nil {
+		t.Fatal("odd-sized file accepted")
+	}
+}
+
+func writeRaw(path string, b []byte) error {
+	return os.WriteFile(path, b, 0o644)
+}
+
+func TestFileH2H(t *testing.T) {
+	s, err := NewFileH2H(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint32(0); i < 100; i++ {
+		if err := s.Append(i, i+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != 100 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	// Iterate twice: the store must survive re-reads and keep appending.
+	for pass := 0; pass < 2; pass++ {
+		count := uint32(0)
+		err := s.Edges(func(u, v graph.V) bool {
+			if u != count || v != count+1 {
+				t.Fatalf("pass %d: edge (%d,%d) at pos %d", pass, u, v, count)
+			}
+			count++
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if count != 100 {
+			t.Fatalf("pass %d saw %d edges", pass, count)
+		}
+	}
+	// Append after read.
+	if err := s.Append(1000, 1001); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 101 {
+		t.Fatalf("len after late append = %d", s.Len())
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionWriter(t *testing.T) {
+	dir := t.TempDir()
+	prefix := filepath.Join(dir, "part")
+	w, err := NewPartitionWriter(prefix, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Assign(1, 2, 0)
+	w.Assign(3, 4, 0)
+	w.Assign(5, 6, 2)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	p0, err := ReadBinaryFile(prefix + ".0.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p0) != 2 || p0[0] != (graph.Edge{U: 1, V: 2}) {
+		t.Fatalf("p0 = %v", p0)
+	}
+	p1, err := ReadBinaryFile(prefix + ".1.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p1) != 0 {
+		t.Fatalf("p1 = %v", p1)
+	}
+	p2, err := ReadBinaryFile(prefix + ".2.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p2) != 1 || p2[0] != (graph.Edge{U: 5, V: 6}) {
+		t.Fatalf("p2 = %v", p2)
+	}
+}
+
+func TestPartitionWriterBadPath(t *testing.T) {
+	if _, err := NewPartitionWriter("/nonexistent-dir/xx", 2); err == nil {
+		t.Fatal("bad path accepted")
+	}
+}

@@ -1,0 +1,234 @@
+package expt
+
+import (
+	"fmt"
+	"time"
+
+	"hep/internal/core"
+	"hep/internal/gen"
+	"hep/internal/graph"
+	"hep/internal/memmodel"
+	"hep/internal/metrics"
+	"hep/internal/ne"
+	"hep/internal/pagesim"
+	"hep/internal/part"
+	"hep/internal/procsim"
+	"hep/internal/stream"
+)
+
+// Table2Row reports the τ-footprint pre-computation run-time per dataset.
+type Table2Row struct {
+	Dataset string
+	Seconds float64
+	Points  int
+}
+
+// Table2 reproduces Table 2: the time to pre-compute the memory footprint
+// for a set of candidate τ values (§4.4), which must be negligible against
+// partitioning time.
+func Table2(cfg Config) ([]Table2Row, error) {
+	taus := []float64{100, 50, 20, 10, 5, 2, 1}
+	var rows []Table2Row
+	for _, name := range cfg.datasets("OK", "IT", "TW", "FR", "UK") {
+		g := cfg.build(name)
+		start := time.Now()
+		points, err := memmodel.TauSweep(g, 32, taus)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table2Row{
+			Dataset: name,
+			Seconds: time.Since(start).Seconds(),
+			Points:  len(points),
+		})
+	}
+	t := newTable(cfg.out(), "Table 2: run-time to pre-compute memory footprint")
+	t.row("graph", "time(s)", "tau candidates")
+	for _, r := range rows {
+		t.row(r.Dataset, r.Seconds, r.Points)
+	}
+	t.flush()
+	return rows, nil
+}
+
+// Table3Row describes one synthetic dataset stand-in.
+type Table3Row struct {
+	Dataset  string
+	Kind     string
+	Vertices int
+	Edges    int64
+	SizeMiB  float64
+	Paper    string
+}
+
+// Table3 renders the dataset registry in the shape of the paper's Table 3
+// (sizes refer to binary edge lists with 32-bit ids).
+func Table3(cfg Config) ([]Table3Row, error) {
+	var rows []Table3Row
+	for _, name := range cfg.datasets(gen.DatasetNames()...) {
+		d := gen.MustDataset(name)
+		g := d.Build(cfg.scale())
+		rows = append(rows, Table3Row{
+			Dataset:  name,
+			Kind:     d.Kind,
+			Vertices: g.NumVertices(),
+			Edges:    g.NumEdges(),
+			SizeMiB:  float64(g.NumEdges()*8) / (1 << 20),
+			Paper:    d.Paper,
+		})
+	}
+	t := newTable(cfg.out(), "Table 3: synthetic dataset stand-ins")
+	t.row("name", "type", "|V|", "|E|", "size(MiB)", "stands in for")
+	for _, r := range rows {
+		t.row(r.Dataset, r.Kind, r.Vertices, r.Edges, r.SizeMiB, r.Paper)
+	}
+	t.flush()
+	return rows, nil
+}
+
+// Table4Row is one (algorithm, dataset) row of Table 4: partitioning time,
+// replication factor and simulated processing times.
+type Table4Row struct {
+	Algorithm   string
+	Dataset     string
+	PartSeconds float64
+	RF          float64
+	PageRankSec float64
+	BFSSec      float64
+	CCSec       float64
+}
+
+// Table4 reproduces the distributed-processing evaluation of §5.3:
+// PageRank (100 iterations), BFS (10 random seeds) and Connected Components
+// on the simulated cluster, under HEP-{100,10,1}, NE, SNE, HDRF and DBH
+// partitionings at k=32.
+func Table4(cfg Config) ([]Table4Row, error) {
+	k := 32
+	prIters := 100
+	algos := []part.Algorithm{
+		&core.HEP{Tau: 100},
+		&core.HEP{Tau: 10},
+		&core.HEP{Tau: 1},
+		&ne.NE{Seed: 1},
+		&ne.SNE{},
+		&stream.HDRF{},
+		&stream.DBH{},
+	}
+	var rows []Table4Row
+	for _, name := range cfg.datasets("OK", "IT", "TW") {
+		g := cfg.build(name)
+		for _, a := range algos {
+			col := procsim.NewCollector(k)
+			a.(part.SinkSetter).SetSink(col)
+			st, res, err := Measure(a, g, k)
+			a.(part.SinkSetter).SetSink(nil)
+			if err != nil {
+				return nil, fmt.Errorf("%s on %s: %v", a.Name(), name, err)
+			}
+			cluster, err := procsim.NewCluster(res, col, procsim.DefaultCostModel())
+			if err != nil {
+				return nil, err
+			}
+			_, pr := cluster.PageRank(prIters, 0.85)
+			_, bfs := cluster.BFS(cluster.RandomSeeds(10, 7))
+			_, cc := cluster.ConnectedComponents()
+			rows = append(rows, Table4Row{
+				Algorithm: a.Name(), Dataset: name,
+				PartSeconds: st.Seconds, RF: st.ReplicationFactor,
+				PageRankSec: pr.SimSeconds, BFSSec: bfs.SimSeconds, CCSec: cc.SimSeconds,
+			})
+		}
+	}
+	t := newTable(cfg.out(), "Table 4: partitioning + simulated processing time (k=32)")
+	t.row("algorithm", "graph", "part(s)", "RF", "PageRank(s)", "BFS(s)", "CC(s)")
+	for _, r := range rows {
+		t.row(r.Algorithm, r.Dataset, r.PartSeconds, r.RF, r.PageRankSec, r.BFSSec, r.CCSec)
+	}
+	t.flush()
+	return rows, nil
+}
+
+// Table5Row is one (algorithm, dataset) vertex-balance entry.
+type Table5Row struct {
+	Algorithm     string
+	Dataset       string
+	VertexBalance float64
+}
+
+// Table5 reproduces the vertex-balancing measurement (std/avg of vertex
+// replicas per partition) for HEP at k=32: lower τ must improve vertex
+// balance (§5.3: the streaming phase balances vertices better than
+// neighborhood expansion).
+func Table5(cfg Config) ([]Table5Row, error) {
+	var rows []Table5Row
+	for _, name := range cfg.datasets("OK", "IT", "TW") {
+		g := cfg.build(name)
+		for _, tau := range []float64{100, 10, 1} {
+			h := &core.HEP{Tau: tau}
+			res, err := h.Partition(g, 32)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Table5Row{
+				Algorithm:     h.Name(),
+				Dataset:       name,
+				VertexBalance: metrics.VertexBalance(res),
+			})
+		}
+	}
+	t := newTable(cfg.out(), "Table 5: vertex balancing (std/avg replicas per partition, k=32)")
+	t.row("algorithm", "graph", "vertex balance")
+	for _, r := range rows {
+		t.row(r.Algorithm, r.Dataset, r.VertexBalance)
+	}
+	t.flush()
+	return rows, nil
+}
+
+// Table6Row is one memory restriction of the paging experiment.
+type Table6Row struct {
+	MemBytes   int64
+	HardFaults int64
+	CPUSeconds float64
+	RunSeconds float64 // CPU + modeled fault stalls
+}
+
+// Table6 reproduces the paging comparison of §5.5: NE++ (τ=10, k=32) on the
+// OK stand-in under decreasing simulated memory, reporting hard page faults
+// and modeled run-time. Faults and run-time must grow as memory shrinks.
+func Table6(cfg Config) ([]Table6Row, error) {
+	names := cfg.datasets("OK")
+	g := cfg.build(names[0])
+	model := pagesim.DefaultModel()
+	// Budgets from "fits everything" down to a small fraction of the
+	// column array.
+	csr, err := graph.BuildCSR(g, 10, nil)
+	if err != nil {
+		return nil, err
+	}
+	full := csr.ColLen() * 4
+	budgets := []int64{full, full / 2, full / 4, full / 8, full / 16, full / 32}
+	var rows []Table6Row
+	for _, b := range budgets {
+		lru := pagesim.NewLRU(b)
+		h := &core.HEP{Tau: 10, Tracer: lru}
+		start := time.Now()
+		if _, err := h.Partition(g, 32); err != nil {
+			return nil, err
+		}
+		cpu := time.Since(start).Seconds()
+		rows = append(rows, Table6Row{
+			MemBytes:   b,
+			HardFaults: lru.Faults(),
+			CPUSeconds: cpu,
+			RunSeconds: model.RunTime(cpu, lru.Faults()),
+		})
+	}
+	t := newTable(cfg.out(), "Table 6: paging under memory restrictions (OK stand-in, k=32)")
+	t.row("mem(MiB)", "hard faults", "cpu(s)", "modeled run-time(s)")
+	for _, r := range rows {
+		t.row(mib(r.MemBytes), r.HardFaults, r.CPUSeconds, r.RunSeconds)
+	}
+	t.flush()
+	return rows, nil
+}

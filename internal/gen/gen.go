@@ -1,0 +1,409 @@
+// Package gen generates deterministic synthetic graphs.
+//
+// The paper evaluates on seven real-world graphs (Table 3) that are not
+// redistributable here; this package provides generators whose outputs
+// reproduce the structural properties the paper's results depend on:
+// power-law degree distributions (social networks: Barabási–Albert, RMAT),
+// highly skewed web graphs with strong host-level locality (WebGraph), and
+// dense biological networks. See Datasets for the scaled stand-in registry.
+//
+// All generators are deterministic given a seed, produce simple undirected
+// graphs (no self-loops, no duplicate edges), and return in-memory edge
+// lists.
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"hep/internal/graph"
+)
+
+// Simplify removes self-loops and duplicate undirected edges in place
+// (comparing canonical orientations), returning the compacted slice. Edge
+// order is not preserved (edges are sorted canonically).
+func Simplify(edges []graph.Edge) []graph.Edge {
+	for i := range edges {
+		edges[i] = edges[i].Canonical()
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		return edges[i].V < edges[j].V
+	})
+	out := edges[:0]
+	var prev graph.Edge
+	for i, e := range edges {
+		if e.U == e.V {
+			continue
+		}
+		if i > 0 && e == prev && len(out) > 0 {
+			continue
+		}
+		out = append(out, e)
+		prev = e
+	}
+	return out
+}
+
+// Shuffle permutes the edge order deterministically; streaming partitioners
+// are order-sensitive, so experiments shuffle once to avoid the sorted-order
+// artifacts Simplify introduces.
+func Shuffle(edges []graph.Edge, seed int64) {
+	r := rand.New(rand.NewSource(seed))
+	r.Shuffle(len(edges), func(i, j int) {
+		edges[i], edges[j] = edges[j], edges[i]
+	})
+}
+
+// RMAT generates a recursive-matrix graph with 2^scale vertices and about
+// edgeFactor·2^scale edges before deduplication (Chakrabarti et al.). The
+// probabilities (a,b,c,d) must sum to 1; higher a yields heavier skew.
+// The result is simplified and shuffled.
+func RMAT(scale int, edgeFactor int, a, b, c float64, seed int64) *graph.MemGraph {
+	n := 1 << scale
+	m := n * edgeFactor
+	r := rand.New(rand.NewSource(seed))
+	edges := make([]graph.Edge, 0, m)
+	for i := 0; i < m; i++ {
+		var u, v int
+		for bit := scale - 1; bit >= 0; bit-- {
+			p := r.Float64()
+			switch {
+			case p < a:
+				// top-left: nothing set
+			case p < a+b:
+				v |= 1 << bit
+			case p < a+b+c:
+				u |= 1 << bit
+			default:
+				u |= 1 << bit
+				v |= 1 << bit
+			}
+		}
+		edges = append(edges, graph.Edge{U: graph.V(u), V: graph.V(v)})
+	}
+	edges = Simplify(edges)
+	Shuffle(edges, seed+1)
+	return graph.NewMemGraph(n, edges)
+}
+
+// BarabasiAlbert generates a preferential-attachment graph: n vertices, each
+// new vertex attaching to `attach` distinct existing vertices chosen
+// proportionally to degree. Degree distribution follows a power law with
+// exponent ≈ 3, the canonical social-network model (paper §2 "Graph Type").
+func BarabasiAlbert(n, attach int, seed int64) *graph.MemGraph {
+	if attach < 1 {
+		attach = 1
+	}
+	if n < attach+1 {
+		n = attach + 1
+	}
+	r := rand.New(rand.NewSource(seed))
+	edges := make([]graph.Edge, 0, n*attach)
+	// targets holds one entry per edge endpoint: sampling uniformly from it
+	// is sampling proportionally to degree.
+	targets := make([]graph.V, 0, 2*n*attach)
+	// Seed clique over the first attach+1 vertices.
+	for i := 0; i <= attach; i++ {
+		for j := i + 1; j <= attach; j++ {
+			edges = append(edges, graph.Edge{U: graph.V(i), V: graph.V(j)})
+			targets = append(targets, graph.V(i), graph.V(j))
+		}
+	}
+	picked := make([]graph.V, 0, attach)
+	for v := attach + 1; v < n; v++ {
+		picked = picked[:0]
+		for len(picked) < attach {
+			t := targets[r.Intn(len(targets))]
+			dup := false
+			for _, q := range picked {
+				if q == t {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				picked = append(picked, t)
+			}
+		}
+		for _, t := range picked {
+			edges = append(edges, graph.Edge{U: graph.V(v), V: t})
+			targets = append(targets, graph.V(v), t)
+		}
+	}
+	edges = Simplify(edges)
+	Shuffle(edges, seed+1)
+	return graph.NewMemGraph(n, edges)
+}
+
+// ErdosRenyi generates a G(n,m)-style random graph by sampling m edges
+// uniformly (deduplicated, so the result may hold slightly fewer).
+func ErdosRenyi(n int, m int, seed int64) *graph.MemGraph {
+	r := rand.New(rand.NewSource(seed))
+	edges := make([]graph.Edge, 0, m)
+	for i := 0; i < m; i++ {
+		u := graph.V(r.Intn(n))
+		v := graph.V(r.Intn(n))
+		if u == v {
+			continue
+		}
+		edges = append(edges, graph.Edge{U: u, V: v})
+	}
+	edges = Simplify(edges)
+	Shuffle(edges, seed+1)
+	return graph.NewMemGraph(n, edges)
+}
+
+// PowerLawConfig generates a graph via the configuration model with degrees
+// drawn from a truncated discrete power law P(d) ∝ d^(-gamma) on
+// [minDeg, maxDeg]. Stubs are shuffled and paired; self-loops and duplicate
+// edges are dropped, which slightly truncates the heaviest tail.
+func PowerLawConfig(n int, gamma float64, minDeg, maxDeg int, seed int64) *graph.MemGraph {
+	if minDeg < 1 {
+		minDeg = 1
+	}
+	if maxDeg < minDeg {
+		maxDeg = minDeg
+	}
+	r := rand.New(rand.NewSource(seed))
+	// Inverse-CDF sampling over the discrete power law.
+	weights := make([]float64, maxDeg-minDeg+1)
+	total := 0.0
+	for d := minDeg; d <= maxDeg; d++ {
+		w := math.Pow(float64(d), -gamma)
+		weights[d-minDeg] = w
+		total += w
+	}
+	cdf := make([]float64, len(weights))
+	acc := 0.0
+	for i, w := range weights {
+		acc += w / total
+		cdf[i] = acc
+	}
+	stubs := make([]graph.V, 0, n*minDeg*2)
+	for v := 0; v < n; v++ {
+		p := r.Float64()
+		d := sort.SearchFloat64s(cdf, p) + minDeg
+		for i := 0; i < d; i++ {
+			stubs = append(stubs, graph.V(v))
+		}
+	}
+	if len(stubs)%2 == 1 {
+		stubs = stubs[:len(stubs)-1]
+	}
+	r.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+	edges := make([]graph.Edge, 0, len(stubs)/2)
+	for i := 0; i+1 < len(stubs); i += 2 {
+		edges = append(edges, graph.Edge{U: stubs[i], V: stubs[i+1]})
+	}
+	edges = Simplify(edges)
+	Shuffle(edges, seed+1)
+	return graph.NewMemGraph(n, edges)
+}
+
+// WebGraph generates a host-structured web graph: hosts of pagesPerHost
+// pages with dense intra-host linkage (ring + random intra links) and a
+// small fraction of cross-host links attached preferentially to hub pages.
+// Web graphs partition extremely well (paper: IT/UK/GSH/WDC reach very low
+// replication factors); this generator reproduces that locality.
+func WebGraph(hosts, pagesPerHost, intraDeg int, crossFrac float64, seed int64) *graph.MemGraph {
+	r := rand.New(rand.NewSource(seed))
+	n := hosts * pagesPerHost
+	edges := make([]graph.Edge, 0, n*(intraDeg+1))
+	for h := 0; h < hosts; h++ {
+		base := h * pagesPerHost
+		for p := 0; p < pagesPerHost; p++ {
+			u := graph.V(base + p)
+			// Ring keeps every host connected.
+			v := graph.V(base + (p+1)%pagesPerHost)
+			if u != v {
+				edges = append(edges, graph.Edge{U: u, V: v})
+			}
+			for i := 0; i < intraDeg; i++ {
+				w := graph.V(base + r.Intn(pagesPerHost))
+				if w != u {
+					edges = append(edges, graph.Edge{U: u, V: w})
+				}
+			}
+		}
+	}
+	// Cross-host links: hubs are page 0 of each host; a link connects a
+	// random page to a hub of another host (power-law host popularity).
+	cross := int(crossFrac * float64(len(edges)))
+	for i := 0; i < cross; i++ {
+		u := graph.V(r.Intn(n))
+		// Zipf-ish host choice.
+		host := int(float64(hosts) * math.Pow(r.Float64(), 3))
+		if host >= hosts {
+			host = hosts - 1
+		}
+		v := graph.V(host * pagesPerHost)
+		if u != v {
+			edges = append(edges, graph.Edge{U: u, V: v})
+		}
+	}
+	edges = Simplify(edges)
+	Shuffle(edges, seed+1)
+	return graph.NewMemGraph(n, edges)
+}
+
+// CommunityPowerLaw generates a power-law graph with planted community
+// structure, the regime real social networks occupy (skewed degrees *and*
+// locality): vertices are split into `communities` groups of power-law
+// sizes; each vertex attaches preferentially to `attach` targets, drawing a
+// (1−mixing) fraction from its own community and the rest globally. Low
+// mixing ⇒ strong locality (easy for neighborhood expansion), high mixing ⇒
+// RMAT-like noise (hard for everyone).
+func CommunityPowerLaw(n, communities, attach int, mixing float64, seed int64) *graph.MemGraph {
+	if communities < 1 {
+		communities = 1
+	}
+	if attach < 1 {
+		attach = 1
+	}
+	r := rand.New(rand.NewSource(seed))
+	// Power-law community sizes via a Zipf-ish split.
+	sizes := make([]int, communities)
+	total := 0.0
+	weights := make([]float64, communities)
+	for i := range weights {
+		weights[i] = 1 / math.Pow(float64(i+1), 1.2)
+		total += weights[i]
+	}
+	assigned := 0
+	for i := range sizes {
+		sizes[i] = int(float64(n) * weights[i] / total)
+		if sizes[i] < attach+1 {
+			sizes[i] = attach + 1
+		}
+		assigned += sizes[i]
+	}
+	// community[v] and per-community member lists (contiguous ids).
+	comm := make([]int, 0, assigned)
+	for c, s := range sizes {
+		for j := 0; j < s; j++ {
+			comm = append(comm, c)
+		}
+	}
+	nTotal := len(comm)
+	commStart := make([]int, communities+1)
+	for c := 0; c < communities; c++ {
+		commStart[c+1] = commStart[c] + sizes[c]
+	}
+
+	edges := make([]graph.Edge, 0, nTotal*attach)
+	globalTargets := make([]graph.V, 0, 2*nTotal*attach)
+	localTargets := make([][]graph.V, communities)
+	for v := 0; v < nTotal; v++ {
+		c := comm[v]
+		deg := attach
+		for i := 0; i < deg; i++ {
+			var t graph.V
+			if r.Float64() < mixing && len(globalTargets) > 0 {
+				t = globalTargets[r.Intn(len(globalTargets))]
+			} else if len(localTargets[c]) > 0 {
+				t = localTargets[c][r.Intn(len(localTargets[c]))]
+			} else {
+				// First vertex of the community: link to a neighbor slot.
+				base := commStart[c]
+				t = graph.V(base + r.Intn(sizes[c]))
+			}
+			if t == graph.V(v) {
+				continue
+			}
+			edges = append(edges, graph.Edge{U: graph.V(v), V: t})
+			globalTargets = append(globalTargets, graph.V(v), t)
+			localTargets[c] = append(localTargets[c], graph.V(v))
+			localTargets[comm[t]] = append(localTargets[comm[t]], t)
+		}
+	}
+	edges = Simplify(edges)
+	Shuffle(edges, seed+1)
+	return graph.NewMemGraph(nTotal, edges)
+}
+
+// Star returns a star graph: vertex 0 connected to vertices 1..n-1 (the
+// motivating example of paper Figure 1).
+func Star(n int) *graph.MemGraph {
+	edges := make([]graph.Edge, 0, n-1)
+	for v := 1; v < n; v++ {
+		edges = append(edges, graph.Edge{U: 0, V: graph.V(v)})
+	}
+	return graph.NewMemGraph(n, edges)
+}
+
+// Path returns a path graph 0-1-...-n-1.
+func Path(n int) *graph.MemGraph {
+	edges := make([]graph.Edge, 0, n-1)
+	for v := 0; v+1 < n; v++ {
+		edges = append(edges, graph.Edge{U: graph.V(v), V: graph.V(v + 1)})
+	}
+	return graph.NewMemGraph(n, edges)
+}
+
+// Cycle returns a cycle graph over n vertices.
+func Cycle(n int) *graph.MemGraph {
+	g := Path(n)
+	if n > 2 {
+		g.E = append(g.E, graph.Edge{U: graph.V(n - 1), V: 0})
+	}
+	return g
+}
+
+// Grid2D returns an r×c grid lattice.
+func Grid2D(r, c int) *graph.MemGraph {
+	edges := make([]graph.Edge, 0, 2*r*c)
+	id := func(i, j int) graph.V { return graph.V(i*c + j) }
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if j+1 < c {
+				edges = append(edges, graph.Edge{U: id(i, j), V: id(i, j+1)})
+			}
+			if i+1 < r {
+				edges = append(edges, graph.Edge{U: id(i, j), V: id(i+1, j)})
+			}
+		}
+	}
+	return graph.NewMemGraph(r*c, edges)
+}
+
+// Clique returns the complete graph K_n.
+func Clique(n int) *graph.MemGraph {
+	edges := make([]graph.Edge, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			edges = append(edges, graph.Edge{U: graph.V(i), V: graph.V(j)})
+		}
+	}
+	return graph.NewMemGraph(n, edges)
+}
+
+// CompleteBipartite returns K_{a,b}: parts {0..a-1} and {a..a+b-1}.
+func CompleteBipartite(a, b int) *graph.MemGraph {
+	edges := make([]graph.Edge, 0, a*b)
+	for i := 0; i < a; i++ {
+		for j := 0; j < b; j++ {
+			edges = append(edges, graph.Edge{U: graph.V(i), V: graph.V(a + j)})
+		}
+	}
+	return graph.NewMemGraph(a+b, edges)
+}
+
+// DisconnectedComponents joins c copies of a BA graph with no inter-links,
+// exercising NE++'s re-initialization path (paper §3.2.3: "when the graph is
+// split into disconnected components").
+func DisconnectedComponents(c, nPer, attach int, seed int64) *graph.MemGraph {
+	var edges []graph.Edge
+	for i := 0; i < c; i++ {
+		g := BarabasiAlbert(nPer, attach, seed+int64(i)*97)
+		off := graph.V(i * nPer)
+		for _, e := range g.E {
+			edges = append(edges, graph.Edge{U: e.U + off, V: e.V + off})
+		}
+	}
+	Shuffle(edges, seed)
+	return graph.NewMemGraph(c*nPer, edges)
+}

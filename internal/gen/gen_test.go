@@ -1,0 +1,186 @@
+package gen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hep/internal/graph"
+)
+
+// checkSimple verifies a generated graph is simple: no self-loops, no
+// duplicate undirected edges, all ids in range.
+func checkSimple(t *testing.T, g *graph.MemGraph) {
+	t.Helper()
+	seen := make(map[graph.Edge]bool, len(g.E))
+	for _, e := range g.E {
+		if e.U == e.V {
+			t.Fatalf("self-loop %v", e)
+		}
+		if int(e.U) >= g.N || int(e.V) >= g.N {
+			t.Fatalf("edge %v out of range n=%d", e, g.N)
+		}
+		c := e.Canonical()
+		if seen[c] {
+			t.Fatalf("duplicate edge %v", c)
+		}
+		seen[c] = true
+	}
+}
+
+func TestSimplify(t *testing.T) {
+	edges := []graph.Edge{
+		{U: 1, V: 2}, {U: 2, V: 1}, {U: 3, V: 3}, {U: 0, V: 1}, {U: 1, V: 2},
+	}
+	out := Simplify(edges)
+	if len(out) != 2 {
+		t.Fatalf("simplify kept %d edges: %v", len(out), out)
+	}
+}
+
+func TestGeneratorsSimpleAndDeterministic(t *testing.T) {
+	builders := map[string]func() *graph.MemGraph{
+		"rmat":      func() *graph.MemGraph { return RMAT(9, 6, 0.57, 0.19, 0.19, 1) },
+		"ba":        func() *graph.MemGraph { return BarabasiAlbert(500, 4, 2) },
+		"er":        func() *graph.MemGraph { return ErdosRenyi(300, 1500, 3) },
+		"plconfig":  func() *graph.MemGraph { return PowerLawConfig(400, 2.2, 2, 50, 4) },
+		"web":       func() *graph.MemGraph { return WebGraph(10, 20, 3, 0.05, 5) },
+		"community": func() *graph.MemGraph { return CommunityPowerLaw(600, 10, 5, 0.2, 6) },
+		"disc":      func() *graph.MemGraph { return DisconnectedComponents(3, 100, 3, 7) },
+	}
+	for name, build := range builders {
+		g1 := build()
+		checkSimple(t, g1)
+		if g1.NumEdges() == 0 {
+			t.Fatalf("%s: empty graph", name)
+		}
+		g2 := build()
+		if g1.NumVertices() != g2.NumVertices() || g1.NumEdges() != g2.NumEdges() {
+			t.Fatalf("%s: non-deterministic size", name)
+		}
+		for i := range g1.E {
+			if g1.E[i] != g2.E[i] {
+				t.Fatalf("%s: non-deterministic edges at %d", name, i)
+			}
+		}
+	}
+}
+
+func TestStructuredGraphs(t *testing.T) {
+	if g := Star(10); g.NumEdges() != 9 {
+		t.Errorf("star edges = %d", g.NumEdges())
+	}
+	if g := Path(10); g.NumEdges() != 9 {
+		t.Errorf("path edges = %d", g.NumEdges())
+	}
+	if g := Cycle(10); g.NumEdges() != 10 {
+		t.Errorf("cycle edges = %d", g.NumEdges())
+	}
+	if g := Grid2D(4, 5); g.NumEdges() != 4*4+3*5 {
+		t.Errorf("grid edges = %d", g.NumEdges())
+	}
+	if g := Clique(6); g.NumEdges() != 15 {
+		t.Errorf("clique edges = %d", g.NumEdges())
+	}
+	if g := CompleteBipartite(3, 4); g.NumEdges() != 12 {
+		t.Errorf("bipartite edges = %d", g.NumEdges())
+	}
+	for _, g := range []*graph.MemGraph{Star(10), Path(10), Cycle(10), Grid2D(4, 5), Clique(6), CompleteBipartite(3, 4)} {
+		checkSimple(t, g)
+	}
+}
+
+func TestPowerLawSkew(t *testing.T) {
+	// The BA graph must be genuinely skewed: max degree far above mean.
+	g := BarabasiAlbert(3000, 5, 11)
+	deg, m, err := graph.Degrees(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := graph.MeanDegree(g.NumVertices(), m)
+	var max int32
+	for _, d := range deg {
+		if d > max {
+			max = d
+		}
+	}
+	if float64(max) < 5*mean {
+		t.Errorf("BA max degree %d not skewed vs mean %.1f", max, mean)
+	}
+}
+
+func TestWebGraphLocality(t *testing.T) {
+	// Most edges must stay within a host block.
+	pages := 30
+	g := WebGraph(20, pages, 4, 0.05, 12)
+	intra := 0
+	for _, e := range g.E {
+		if int(e.U)/pages == int(e.V)/pages {
+			intra++
+		}
+	}
+	if frac := float64(intra) / float64(len(g.E)); frac < 0.8 {
+		t.Errorf("intra-host fraction %.2f < 0.8", frac)
+	}
+}
+
+func TestDatasets(t *testing.T) {
+	for _, name := range DatasetNames() {
+		d := MustDataset(name)
+		if d.Name != name {
+			t.Errorf("dataset %q reports name %q", name, d.Name)
+		}
+		g := d.Build(0.05) // tiny scale for test speed
+		checkSimple(t, g)
+		if g.NumEdges() == 0 {
+			t.Errorf("dataset %s: empty graph at scale 0.05", name)
+		}
+	}
+}
+
+func TestMustDatasetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown dataset")
+		}
+	}()
+	MustDataset("nope")
+}
+
+// TestQuickSimplifyIdempotent: Simplify(Simplify(x)) == Simplify(x) and the
+// output never contains self-loops or duplicates.
+func TestQuickSimplifyIdempotent(t *testing.T) {
+	f := func(raw []uint16) bool {
+		edges := make([]graph.Edge, 0, len(raw)/2)
+		for i := 0; i+1 < len(raw); i += 2 {
+			edges = append(edges, graph.Edge{U: uint32(raw[i] % 64), V: uint32(raw[i+1] % 64)})
+		}
+		once := Simplify(append([]graph.Edge(nil), edges...))
+		twice := Simplify(append([]graph.Edge(nil), once...))
+		if len(once) != len(twice) {
+			return false
+		}
+		seen := map[graph.Edge]bool{}
+		for _, e := range once {
+			if e.U == e.V || seen[e.Canonical()] {
+				return false
+			}
+			seen[e.Canonical()] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShuffleDeterministic(t *testing.T) {
+	a := []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 4}}
+	b := append([]graph.Edge(nil), a...)
+	Shuffle(a, 42)
+	Shuffle(b, 42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("shuffle not deterministic")
+		}
+	}
+}

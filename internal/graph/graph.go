@@ -1,0 +1,165 @@
+// Package graph defines the edge-list and CSR graph representations used by
+// every partitioner in this repository.
+//
+// Vertices are dense uint32 ids (the paper's evaluation uses binary edge
+// lists with 32-bit vertex ids, Table 3). Graphs are undirected and simple;
+// an edge (u,v) is stored once in an edge list, but the CSR representation
+// stores it in both directions (out-entry at u, in-entry at v) unless one of
+// the endpoints is pruned as high-degree (paper §3.2.1).
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// V is a vertex identifier.
+type V = uint32
+
+// Edge is an undirected edge in its original orientation (U is the left-hand
+// side vertex of the input edge list, which matters for NE++'s
+// last-partition pass, paper §3.2.3).
+type Edge struct {
+	U, V V
+}
+
+// Canonical returns the edge with endpoints ordered (min,max), used by tests
+// to compare edge multisets irrespective of orientation.
+func (e Edge) Canonical() Edge {
+	if e.U > e.V {
+		return Edge{e.V, e.U}
+	}
+	return e
+}
+
+// EdgeStream is a (re-iterable) source of edges. Implementations include
+// in-memory edge lists (MemGraph), binary edge-list files (edgeio.File) and
+// the H2H spill stores. Edges must be yielded in a deterministic order and
+// the stream must be restartable: every call to Edges iterates the full
+// stream from the beginning.
+type EdgeStream interface {
+	// NumVertices returns |V|; vertex ids are in [0, NumVertices).
+	NumVertices() int
+	// NumEdges returns |E|.
+	NumEdges() int64
+	// Edges calls yield for every edge until the stream ends or yield
+	// returns false.
+	Edges(yield func(u, v V) bool) error
+}
+
+// MemGraph is an in-memory edge list implementing EdgeStream.
+type MemGraph struct {
+	N int
+	E []Edge
+}
+
+// NewMemGraph returns a MemGraph over n vertices with the given edges.
+func NewMemGraph(n int, edges []Edge) *MemGraph {
+	return &MemGraph{N: n, E: edges}
+}
+
+// FromEdges builds a MemGraph inferring the vertex count as max id + 1.
+func FromEdges(edges []Edge) *MemGraph {
+	var max V
+	has := false
+	for _, e := range edges {
+		has = true
+		if e.U > max {
+			max = e.U
+		}
+		if e.V > max {
+			max = e.V
+		}
+	}
+	n := 0
+	if has {
+		n = int(max) + 1
+	}
+	return &MemGraph{N: n, E: edges}
+}
+
+// NumVertices implements EdgeStream.
+func (g *MemGraph) NumVertices() int { return g.N }
+
+// NumEdges implements EdgeStream.
+func (g *MemGraph) NumEdges() int64 { return int64(len(g.E)) }
+
+// Edges implements EdgeStream.
+func (g *MemGraph) Edges(yield func(u, v V) bool) error {
+	for _, e := range g.E {
+		if !yield(e.U, e.V) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// ErrVertexRange is returned when a stream yields a vertex id outside
+// [0, NumVertices).
+var ErrVertexRange = errors.New("graph: vertex id out of range")
+
+// Degrees computes the total degree of every vertex in src (each undirected
+// edge contributes 1 to both endpoints; self-loops contribute 2 to their
+// vertex). It returns the degree array and the number of edges seen.
+func Degrees(src EdgeStream) ([]int32, int64, error) {
+	n := src.NumVertices()
+	deg := make([]int32, n)
+	var m int64
+	var rangeErr error
+	err := src.Edges(func(u, v V) bool {
+		if int(u) >= n || int(v) >= n {
+			rangeErr = fmt.Errorf("%w: edge (%d,%d) with n=%d", ErrVertexRange, u, v, n)
+			return false
+		}
+		deg[u]++
+		deg[v]++
+		m++
+		return true
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	if rangeErr != nil {
+		return nil, 0, rangeErr
+	}
+	return deg, m, nil
+}
+
+// MeanDegree returns 2m/n, the average vertex degree the τ threshold is
+// relative to (paper §3.1). It returns 0 for empty graphs.
+func MeanDegree(n int, m int64) float64 {
+	if n == 0 {
+		return 0
+	}
+	return 2 * float64(m) / float64(n)
+}
+
+// HighDegree reports whether a vertex of degree d counts as high-degree for
+// threshold factor tau and mean degree mean: d(v) > τ·d̄ (paper §3.1).
+func HighDegree(d int32, tau, mean float64) bool {
+	return float64(d) > tau*mean
+}
+
+// SplitByTau partitions the edges of src into the set incident to two
+// high-degree vertices (h2h) and the rest, using threshold factor tau. It is
+// the decomposition step of the simple hybrid baseline (paper §5.4) and of
+// tests that cross-check the CSR builder.
+func SplitByTau(src EdgeStream, tau float64) (rest, h2h []Edge, deg []int32, err error) {
+	deg, m, err := Degrees(src)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	mean := MeanDegree(src.NumVertices(), m)
+	err = src.Edges(func(u, v V) bool {
+		if HighDegree(deg[u], tau, mean) && HighDegree(deg[v], tau, mean) {
+			h2h = append(h2h, Edge{u, v})
+		} else {
+			rest = append(rest, Edge{u, v})
+		}
+		return true
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return rest, h2h, deg, nil
+}

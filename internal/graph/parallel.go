@@ -1,0 +1,160 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"hep/internal/bitset"
+)
+
+// BuildCSRParallel builds the same pruned CSR as BuildCSR using `workers`
+// goroutines — a step toward the paper's first future-work direction
+// ("improve the performance of HEP by focusing on parallelism", §7).
+//
+// The construction stays deterministic: pass one counts degrees into
+// per-worker arrays that are merged; pass two shards the *vertex* space, so
+// each worker scans the whole stream but fills only the segments of its own
+// vertices, preserving the exact entry order of the sequential builder.
+// Worker 0 additionally routes E_h2h to the spill store (stores are not
+// required to be concurrency-safe). The stream must be safely re-iterable
+// from multiple goroutines (MemGraph and edgeio.File both are).
+func BuildCSRParallel(src EdgeStream, tau float64, store H2HStore, workers int) (*CSR, error) {
+	if workers <= 1 {
+		return BuildCSR(src, tau, store)
+	}
+	if tau <= 0 {
+		return nil, fmt.Errorf("graph: tau must be positive, got %v", tau)
+	}
+	n := src.NumVertices()
+
+	// Pass 1 (parallel): per-worker degree counting over the full stream,
+	// each worker owning vertices v with v % workers == w.
+	outDeg := make([]int32, n)
+	inDeg := make([]int32, n)
+	deg := make([]int32, n)
+	var m int64
+
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var local int64
+			err := src.Edges(func(u, v V) bool {
+				if int(u) >= n || int(v) >= n {
+					errs[w] = fmt.Errorf("%w: edge (%d,%d) with n=%d", ErrVertexRange, u, v, n)
+					return false
+				}
+				if u == v {
+					errs[w] = fmt.Errorf("graph: self-loop at vertex %d", u)
+					return false
+				}
+				if int(u)%workers == w {
+					outDeg[u]++
+					deg[u]++
+				}
+				if int(v)%workers == w {
+					inDeg[v]++
+					deg[v]++
+				}
+				local++
+				return true
+			})
+			if err != nil && errs[w] == nil {
+				errs[w] = err
+			}
+			if w == 0 {
+				m = local
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	mean := MeanDegree(n, m)
+	high := bitset.New(n)
+	if !math.IsInf(tau, 1) {
+		for v := 0; v < n; v++ {
+			if HighDegree(deg[v], tau, mean) {
+				high.Set(uint32(v))
+			}
+		}
+	}
+
+	c := &CSR{
+		n: n, m: m, tau: tau, mean: mean,
+		outIdx:  make([]int64, n+1),
+		inIdx:   make([]int64, n),
+		outSize: make([]int32, n),
+		inSize:  make([]int32, n),
+		deg:     deg,
+		high:    high,
+		h2h:     store,
+	}
+	if c.h2h == nil {
+		c.h2h = &MemH2H{}
+	}
+	var off int64
+	for v := 0; v < n; v++ {
+		c.outIdx[v] = off
+		oc, ic := int64(outDeg[v]), int64(inDeg[v])
+		if high.Has(uint32(v)) {
+			oc, ic = 0, 0
+		}
+		c.inIdx[v] = off + oc
+		off += oc + ic
+	}
+	c.outIdx[n] = off
+	c.col = make([]V, off)
+
+	// Pass 2 (parallel): each worker fills only its own vertices'
+	// segments; worker 0 also spills E_h2h in stream order.
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var h2hErr error
+			err := src.Edges(func(u, v V) bool {
+				uh, vh := high.Has(u), high.Has(v)
+				if uh && vh {
+					if w == 0 {
+						if e := c.h2h.Append(u, v); e != nil {
+							h2hErr = e
+							return false
+						}
+						c.h2hLen++
+					}
+					return true
+				}
+				if !uh && int(u)%workers == w {
+					c.col[c.outIdx[u]+int64(c.outSize[u])] = v
+					c.outSize[u]++
+				}
+				if !vh && int(v)%workers == w {
+					c.col[c.inIdx[v]+int64(c.inSize[v])] = u
+					c.inSize[v]++
+				}
+				return true
+			})
+			if err != nil && errs[w] == nil {
+				errs[w] = err
+			}
+			if h2hErr != nil && errs[w] == nil {
+				errs[w] = h2hErr
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}

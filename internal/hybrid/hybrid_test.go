@@ -1,0 +1,53 @@
+package hybrid
+
+import (
+	"testing"
+
+	"hep/internal/gen"
+)
+
+func TestSimpleSplitAccounting(t *testing.T) {
+	g := gen.RMAT(11, 10, 0.6, 0.19, 0.19, 1)
+	s := &Simple{Tau: 1, Seed: 2}
+	res, err := s.Partition(g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.LastSplit.H2H+s.LastSplit.Rest != g.NumEdges() {
+		t.Fatalf("split %d+%d != %d", s.LastSplit.H2H, s.LastSplit.Rest, g.NumEdges())
+	}
+	if res.M != g.NumEdges() {
+		t.Fatalf("assigned %d of %d", res.M, g.NumEdges())
+	}
+	if s.LastSplit.H2HFraction() <= 0 || s.LastSplit.H2HFraction() >= 1 {
+		t.Fatalf("h2h fraction %v", s.LastSplit.H2HFraction())
+	}
+}
+
+func TestSplitFractionMonotoneInTau(t *testing.T) {
+	g := gen.RMAT(11, 10, 0.6, 0.19, 0.19, 3)
+	prev := -1.0
+	for _, tau := range []float64{100, 10, 1} {
+		s := &Simple{Tau: tau, Seed: 2}
+		if _, err := s.Partition(g, 4); err != nil {
+			t.Fatal(err)
+		}
+		f := s.LastSplit.H2HFraction()
+		if f < prev {
+			t.Fatalf("h2h fraction decreased as tau fell: %v -> %v", prev, f)
+		}
+		prev = f
+	}
+}
+
+func TestEmptySplitFraction(t *testing.T) {
+	if (Split{}).H2HFraction() != 0 {
+		t.Fatal("empty split fraction")
+	}
+}
+
+func TestSimpleName(t *testing.T) {
+	if (&Simple{Tau: 10}).Name() != "SimpleHybrid-10" {
+		t.Fatal("name format changed")
+	}
+}

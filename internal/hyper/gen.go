@@ -1,0 +1,89 @@
+package hyper
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"hep/internal/graph"
+)
+
+// RandomHypergraph generates m hyperedges over n vertices with pin counts
+// uniform in [minPins, maxPins] and vertex popularity following a Zipf-like
+// power law — the skewed regime HHEP targets. Pins within a hyperedge are
+// distinct. Deterministic in seed.
+func RandomHypergraph(n, m, minPins, maxPins int, skew float64, seed int64) *Hypergraph {
+	if minPins < 1 {
+		minPins = 1
+	}
+	if maxPins < minPins {
+		maxPins = minPins
+	}
+	if maxPins > n {
+		maxPins = n
+	}
+	rng := rand.New(rand.NewSource(seed))
+	pick := func() graph.V {
+		// Inverse-power sampling: small ids are popular.
+		u := rng.Float64()
+		idx := int(math.Pow(u, skew) * float64(n))
+		if idx >= n {
+			idx = n - 1
+		}
+		return graph.V(idx)
+	}
+	edges := make([][]graph.V, 0, m)
+	for i := 0; i < m; i++ {
+		p := minPins + rng.Intn(maxPins-minPins+1)
+		set := map[graph.V]struct{}{}
+		for len(set) < p {
+			set[pick()] = struct{}{}
+		}
+		pins := make([]graph.V, 0, p)
+		for v := range set {
+			pins = append(pins, v)
+		}
+		sort.Slice(pins, func(a, b int) bool { return pins[a] < pins[b] })
+		edges = append(edges, pins)
+	}
+	return &Hypergraph{N: n, Edges: edges}
+}
+
+// CommunityHypergraph generates hyperedges that mostly stay within planted
+// vertex communities (locality for the in-memory expansion to exploit).
+func CommunityHypergraph(n, m, communities, minPins, maxPins int, mixing float64, seed int64) *Hypergraph {
+	if communities < 1 {
+		communities = 1
+	}
+	size := n / communities
+	if size < maxPins {
+		size = maxPins
+	}
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([][]graph.V, 0, m)
+	for i := 0; i < m; i++ {
+		c := rng.Intn(communities)
+		base := c * size
+		if base+size > n {
+			base = n - size
+		}
+		p := minPins + rng.Intn(maxPins-minPins+1)
+		set := map[graph.V]struct{}{}
+		for len(set) < p {
+			var v graph.V
+			if rng.Float64() < mixing {
+				v = graph.V(rng.Intn(n))
+			} else {
+				v = graph.V(base + rng.Intn(size))
+			}
+			set[v] = struct{}{}
+		}
+		pins := make([]graph.V, 0, p)
+		for v := range set {
+			pins = append(pins, v)
+		}
+		sort.Slice(pins, func(a, b int) bool { return pins[a] < pins[b] })
+		edges = append(edges, pins)
+	}
+	return &Hypergraph{N: n, Edges: edges}
+}

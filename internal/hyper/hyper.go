@@ -1,0 +1,379 @@
+// Package hyper extends the hybrid partitioning paradigm to hypergraphs —
+// the future-work direction the paper closes with (§7: "we aim to explore
+// the extension of the hybrid in-memory and streaming partitioning paradigm
+// to hypergraphs"), drawing on HYPE (Mayer et al., BigData 2018) for the
+// in-memory expansion and streaming min-max partitioning (Alistarh et al.,
+// NIPS 2015) for the streaming phase.
+//
+// The problem is the hyperedge-partitioning analog of edge partitioning:
+// divide the hyperedges into k balanced parts minimizing the vertex
+// replication factor. HHEP splits the hyperedge set by vertex degree: a
+// hyperedge whose pins are all high-degree is streamed with replica-aware
+// scoring; everything else is partitioned in memory by neighborhood
+// expansion over the incidence structure.
+package hyper
+
+import (
+	"fmt"
+	"math"
+
+	"hep/internal/bitset"
+	"hep/internal/graph"
+	"hep/internal/vheap"
+)
+
+// Hypergraph is a set of hyperedges (pin lists) over vertices [0, N).
+type Hypergraph struct {
+	N     int
+	Edges [][]graph.V
+}
+
+// NumPins returns the total pin count Σ|e|.
+func (h *Hypergraph) NumPins() int64 {
+	var pins int64
+	for _, e := range h.Edges {
+		pins += int64(len(e))
+	}
+	return pins
+}
+
+// Validate checks pin ranges and that no hyperedge is empty.
+func (h *Hypergraph) Validate() error {
+	for i, e := range h.Edges {
+		if len(e) == 0 {
+			return fmt.Errorf("hyper: hyperedge %d is empty", i)
+		}
+		for _, v := range e {
+			if int(v) >= h.N {
+				return fmt.Errorf("hyper: hyperedge %d pin %d out of range n=%d", i, v, h.N)
+			}
+		}
+	}
+	return nil
+}
+
+// Result is a k-way hyperedge partitioning.
+type Result struct {
+	K          int
+	N          int
+	Assignment []int32 // partition per hyperedge
+	Counts     []int64
+	Replicas   []*bitset.Set
+}
+
+func newResult(h *Hypergraph, k int) *Result {
+	r := &Result{
+		K:          k,
+		N:          h.N,
+		Assignment: make([]int32, len(h.Edges)),
+		Counts:     make([]int64, k),
+		Replicas:   make([]*bitset.Set, k),
+	}
+	for i := range r.Assignment {
+		r.Assignment[i] = -1
+	}
+	for i := range r.Replicas {
+		r.Replicas[i] = bitset.New(h.N)
+	}
+	return r
+}
+
+func (r *Result) assign(h *Hypergraph, e int, p int) {
+	r.Assignment[e] = int32(p)
+	r.Counts[p]++
+	for _, v := range h.Edges[e] {
+		r.Replicas[p].Set(v)
+	}
+}
+
+// ReplicationFactor returns Σ_i |V(p_i)| over the number of covered
+// vertices, exactly as in the graph case (§2).
+func (r *Result) ReplicationFactor() float64 {
+	covered := bitset.New(r.N)
+	total := 0
+	for _, rep := range r.Replicas {
+		total += rep.Count()
+		covered.Union(rep)
+	}
+	c := covered.Count()
+	if c == 0 {
+		return 0
+	}
+	return float64(total) / float64(c)
+}
+
+// Balance returns α = k·maxLoad/|E|.
+func (r *Result) Balance() float64 {
+	var max, m int64
+	for _, c := range r.Counts {
+		if c > max {
+			max = c
+		}
+		m += c
+	}
+	if m == 0 {
+		return 1
+	}
+	return float64(max) * float64(r.K) / float64(m)
+}
+
+// HHEP is the hybrid hypergraph partitioner.
+type HHEP struct {
+	// Tau is the degree threshold factor over vertex degrees (number of
+	// incident hyperedges); +Inf disables the streaming phase.
+	Tau float64
+	// Lambda weights the balance term of the streaming score (default 1.1).
+	Lambda float64
+}
+
+// Name identifies the configuration.
+func (p *HHEP) Name() string {
+	if math.IsInf(p.Tau, 1) || p.Tau == 0 {
+		return "HHEP-inf"
+	}
+	return fmt.Sprintf("HHEP-%g", p.Tau)
+}
+
+// Partition divides the hyperedges into k parts.
+func (p *HHEP) Partition(h *Hypergraph, k int) (*Result, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("hyper: k must be ≥ 1, got %d", k)
+	}
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	tau := p.Tau
+	if tau == 0 {
+		tau = math.Inf(1)
+	}
+	lambda := p.Lambda
+	if lambda == 0 {
+		lambda = 1.1
+	}
+
+	// Vertex degrees = incident hyperedge counts.
+	deg := make([]int32, h.N)
+	for _, e := range h.Edges {
+		for _, v := range e {
+			deg[v]++
+		}
+	}
+	var m = len(h.Edges)
+	mean := 0.0
+	if h.N > 0 {
+		var sum int64
+		for _, d := range deg {
+			sum += int64(d)
+		}
+		mean = float64(sum) / float64(h.N)
+	}
+	high := bitset.New(h.N)
+	if !math.IsInf(tau, 1) {
+		for v := 0; v < h.N; v++ {
+			if float64(deg[v]) > tau*mean {
+				high.Set(graph.V(v))
+			}
+		}
+	}
+
+	// Split: a hyperedge streams iff every pin is high-degree.
+	streamed := make([]int, 0)
+	inMem := make([]int, 0, m)
+	for e, pins := range h.Edges {
+		allHigh := true
+		for _, v := range pins {
+			if !high.Has(v) {
+				allHigh = false
+				break
+			}
+		}
+		if allHigh && !math.IsInf(tau, 1) {
+			streamed = append(streamed, e)
+		} else {
+			inMem = append(inMem, e)
+		}
+	}
+
+	res := newResult(h, k)
+	p.expandInMemory(h, inMem, high, res)
+	p.streamPhase(h, streamed, deg, lambda, res)
+	return res, nil
+}
+
+// expandInMemory grows partitions by neighborhood expansion: repeatedly
+// take the frontier hyperedge with the fewest external pins (pins outside
+// the partition's vertex cover), in the HYPE spirit. Frontier priorities
+// are maintained exactly: covering a pin decrements the key of every
+// incident frontier hyperedge (the hypergraph analog of NE's external
+// degree updates).
+func (p *HHEP) expandInMemory(h *Hypergraph, inMem []int, high *bitset.Set, res *Result) {
+	if len(inMem) == 0 {
+		return
+	}
+	k := res.K
+	bound := (int64(len(inMem)) + int64(k) - 1) / int64(k)
+
+	// Incidence lists over low-degree pins only (high pins would explode
+	// frontier scans, the same pruning argument as §3.2.1).
+	inc := make([][]int32, h.N)
+	for _, e := range inMem {
+		for _, v := range h.Edges[e] {
+			if !high.Has(v) {
+				inc[v] = append(inc[v], int32(e))
+			}
+		}
+	}
+	assigned := bitset.New(len(h.Edges))
+	cover := bitset.New(h.N) // vertex cover of the current partition
+	var coverList []graph.V
+	frontier := vheap.New(len(h.Edges))
+
+	external := func(e uint32) int32 {
+		var ext int32
+		for _, v := range h.Edges[e] {
+			if !cover.Has(v) {
+				ext++
+			}
+		}
+		return ext
+	}
+	addToCover := func(e uint32) {
+		for _, v := range h.Edges[e] {
+			if cover.Has(v) {
+				continue
+			}
+			cover.Set(v)
+			coverList = append(coverList, v)
+			for _, ne := range inc[v] {
+				ue := uint32(ne)
+				if assigned.Has(ue) {
+					continue
+				}
+				if frontier.Contains(ue) {
+					frontier.Add(ue, -1) // pin v just became internal
+				} else {
+					frontier.Push(ue, external(ue))
+				}
+			}
+		}
+	}
+
+	seedCursor := 0
+	nextSeed := func() (uint32, bool) {
+		for seedCursor < len(inMem) {
+			e := inMem[seedCursor]
+			if !assigned.Has(uint32(e)) {
+				return uint32(e), true
+			}
+			seedCursor++
+		}
+		return 0, false
+	}
+
+	for cur := 0; cur < k; cur++ {
+		// Reset per-partition state.
+		for _, v := range coverList {
+			cover.Clear(v)
+		}
+		coverList = coverList[:0]
+		frontier.Reset()
+
+		for res.Counts[cur] < bound || cur == k-1 {
+			var e uint32
+			if frontier.Len() > 0 {
+				e, _ = frontier.PopMin()
+			} else {
+				seed, ok := nextSeed()
+				if !ok {
+					break
+				}
+				e = seed
+			}
+			assigned.Set(e)
+			res.assign(h, int(e), cur)
+			addToCover(e)
+		}
+		if _, ok := nextSeed(); !ok && frontier.Len() == 0 {
+			break
+		}
+	}
+	// Safety net: anything left (possible only on pathological bounds)
+	// goes to the least-loaded partition.
+	for _, e := range inMem {
+		if !assigned.Has(uint32(e)) {
+			best := 0
+			for q := 1; q < k; q++ {
+				if res.Counts[q] < res.Counts[best] {
+					best = q
+				}
+			}
+			assigned.Set(uint32(e))
+			res.assign(h, e, best)
+		}
+	}
+}
+
+// streamPhase places all-high hyperedges by replica overlap + balance, the
+// informed streaming of §3.3 transplanted to pin sets.
+func (p *HHEP) streamPhase(h *Hypergraph, streamed []int, deg []int32, lambda float64, res *Result) {
+	if len(streamed) == 0 {
+		return
+	}
+	k := res.K
+	total := int64(len(h.Edges))
+	capacity := (total + int64(k) - 1) / int64(k)
+	for _, e := range streamed {
+		pins := h.Edges[e]
+		var maxLoad, minLoad int64
+		maxLoad, minLoad = res.Counts[0], res.Counts[0]
+		for _, c := range res.Counts[1:] {
+			if c > maxLoad {
+				maxLoad = c
+			}
+			if c < minLoad {
+				minLoad = c
+			}
+		}
+		best, bestScore := -1, math.Inf(-1)
+		for q := 0; q < k; q++ {
+			if res.Counts[q] >= capacity {
+				continue
+			}
+			overlap := 0.0
+			for _, v := range pins {
+				if res.Replicas[q].Has(v) {
+					overlap++
+				}
+			}
+			score := overlap/float64(len(pins)) +
+				lambda*float64(maxLoad-res.Counts[q])/(1e-9+float64(maxLoad-minLoad))
+			if score > bestScore {
+				best, bestScore = q, score
+			}
+		}
+		if best < 0 {
+			best = 0
+			for q := 1; q < k; q++ {
+				if res.Counts[q] < res.Counts[best] {
+					best = q
+				}
+			}
+		}
+		res.assign(h, e, best)
+	}
+	_ = deg
+}
+
+// Random assigns hyperedges round-robin after hashing — the quality floor.
+func Random(h *Hypergraph, k int, seed int64) (*Result, error) {
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	res := newResult(h, k)
+	state := uint64(seed)*2862933555777941757 + 3037000493
+	for e := range h.Edges {
+		state = state*2862933555777941757 + 3037000493
+		res.assign(h, e, int((state>>33)%uint64(k)))
+	}
+	return res, nil
+}

@@ -1,0 +1,149 @@
+package hyper
+
+import (
+	"math"
+	"testing"
+
+	"hep/internal/graph"
+)
+
+func TestHHEPAssignsEveryHyperedge(t *testing.T) {
+	h := CommunityHypergraph(2000, 4000, 20, 2, 6, 0.2, 1)
+	for _, tau := range []float64{math.Inf(1), 10, 2, 1} {
+		for _, k := range []int{1, 4, 16} {
+			res, err := (&HHEP{Tau: tau}).Partition(h, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var total int64
+			for e, p := range res.Assignment {
+				if p < 0 || int(p) >= k {
+					t.Fatalf("tau=%v k=%d: hyperedge %d assigned to %d", tau, k, e, p)
+				}
+			}
+			for _, c := range res.Counts {
+				total += c
+			}
+			if total != int64(len(h.Edges)) {
+				t.Fatalf("tau=%v k=%d: %d of %d assigned", tau, k, total, len(h.Edges))
+			}
+		}
+	}
+}
+
+func TestHHEPBalance(t *testing.T) {
+	h := CommunityHypergraph(1500, 3000, 15, 2, 5, 0.2, 2)
+	res, err := (&HHEP{Tau: 5}).Partition(h, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Balance() > 1.1 {
+		t.Errorf("balance α = %.3f", res.Balance())
+	}
+}
+
+func TestHHEPBeatsRandom(t *testing.T) {
+	h := CommunityHypergraph(3000, 6000, 30, 2, 6, 0.15, 3)
+	hres, err := (&HHEP{Tau: 10}).Partition(h, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rres, err := Random(h, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hres.ReplicationFactor() >= rres.ReplicationFactor() {
+		t.Errorf("HHEP RF %.3f not below random %.3f",
+			hres.ReplicationFactor(), rres.ReplicationFactor())
+	}
+}
+
+func TestHHEPStreamingPhaseTriggers(t *testing.T) {
+	// A skewed hypergraph at low τ must route some hyperedges through the
+	// streaming phase; assignment completeness is preserved either way.
+	h := RandomHypergraph(1000, 3000, 2, 4, 3.0, 5)
+	res, err := (&HHEP{Tau: 1}).Partition(h, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, c := range res.Counts {
+		total += c
+	}
+	if total != int64(len(h.Edges)) {
+		t.Fatalf("%d of %d assigned", total, len(h.Edges))
+	}
+}
+
+func TestHypergraphValidate(t *testing.T) {
+	bad := &Hypergraph{N: 3, Edges: [][]graph.V{{0, 5}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("out-of-range pin accepted")
+	}
+	empty := &Hypergraph{N: 3, Edges: [][]graph.V{{}}}
+	if err := empty.Validate(); err == nil {
+		t.Fatal("empty hyperedge accepted")
+	}
+	if _, err := (&HHEP{}).Partition(bad, 2); err == nil {
+		t.Fatal("partition accepted invalid hypergraph")
+	}
+	if _, err := (&HHEP{}).Partition(&Hypergraph{N: 1}, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestHypergraphGenerators(t *testing.T) {
+	h := RandomHypergraph(500, 1000, 2, 5, 2.0, 6)
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Edges) != 1000 {
+		t.Fatalf("edges = %d", len(h.Edges))
+	}
+	if h.NumPins() < 2000 {
+		t.Fatalf("pins = %d", h.NumPins())
+	}
+	for _, e := range h.Edges {
+		seen := map[graph.V]bool{}
+		for _, v := range e {
+			if seen[v] {
+				t.Fatal("duplicate pin")
+			}
+			seen[v] = true
+		}
+	}
+	// Determinism.
+	h2 := RandomHypergraph(500, 1000, 2, 5, 2.0, 6)
+	for i := range h.Edges {
+		if len(h.Edges[i]) != len(h2.Edges[i]) {
+			t.Fatal("generator not deterministic")
+		}
+		for j := range h.Edges[i] {
+			if h.Edges[i][j] != h2.Edges[i][j] {
+				t.Fatal("generator not deterministic")
+			}
+		}
+	}
+}
+
+func TestHHEPLocalityOnCommunities(t *testing.T) {
+	// With strong communities and pins mostly local, expansion should
+	// keep RF well below the hyperedge-size upper bound.
+	h := CommunityHypergraph(4000, 8000, 40, 3, 6, 0.05, 7)
+	res, err := (&HHEP{Tau: math.Inf(1)}).Partition(h, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf := res.ReplicationFactor(); rf > 2.0 {
+		t.Errorf("community hypergraph RF = %.3f, expansion lost locality", rf)
+	}
+}
+
+func TestHHEPName(t *testing.T) {
+	if (&HHEP{Tau: 5}).Name() != "HHEP-5" {
+		t.Fatal("name")
+	}
+	if (&HHEP{}).Name() != "HHEP-inf" {
+		t.Fatal("inf name")
+	}
+}

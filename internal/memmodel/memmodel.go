@@ -1,0 +1,157 @@
+// Package memmodel implements the analytical memory model of paper §4.2 and
+// the τ pre-computation of §4.4: given a degree distribution, it reports
+// the bytes HEP's data structures occupy for any threshold factor τ, and
+// picks the largest τ (best replication factor) that fits a memory budget.
+package memmodel
+
+import (
+	"sort"
+
+	"hep/internal/graph"
+)
+
+// BytesPerID is b_id: vertex ids are 32-bit for graphs under 2^32 vertices
+// (paper §4.2).
+const BytesPerID = 4
+
+// Footprint itemizes the §4.2 model for one τ.
+type Footprint struct {
+	Tau float64
+	// ColumnArray is Σ_{v ∈ V_l} d(v) · b_id — the dominant structure.
+	ColumnArray int64
+	// IndexArrays is 2·|V|·b_id (separate in/out index arrays).
+	IndexArrays int64
+	// SizeFields is 2·|V|·b_id (valid-entry counts per in/out list).
+	SizeFields int64
+	// Bitsets is |V|·(k+1)/8 (k secondary sets + core set).
+	Bitsets int64
+	// Heap is 2·|V|·b_id (min-heap + position lookup).
+	Heap int64
+	// H2HEdges counts the edges spilled out of memory at this τ.
+	H2HEdges int64
+}
+
+// Total returns the §4.2 sum:
+// Σ_{v∈V_l} d(v)·b_id + 6·|V|·b_id + |V|·(k+1)/8 bytes.
+func (f Footprint) Total() int64 {
+	return f.ColumnArray + f.IndexArrays + f.SizeFields + f.Bitsets + f.Heap
+}
+
+// Estimate evaluates the model for one τ given the degree array and k.
+func Estimate(deg []int32, m int64, k int, tau float64) Footprint {
+	n := len(deg)
+	mean := graph.MeanDegree(n, m)
+	f := Footprint{Tau: tau}
+	var colEntries int64
+	var highDeg []int32
+	for _, d := range deg {
+		if graph.HighDegree(d, tau, mean) {
+			highDeg = append(highDeg, d)
+		} else {
+			colEntries += int64(d)
+		}
+	}
+	f.ColumnArray = colEntries * BytesPerID
+	f.IndexArrays = 2 * int64(n) * BytesPerID
+	f.SizeFields = 2 * int64(n) * BytesPerID
+	f.Bitsets = int64(n) * int64(k+1) / 8
+	f.Heap = 2 * int64(n) * BytesPerID
+	f.H2HEdges = estimateH2H(highDeg, m)
+	return f
+}
+
+// estimateH2H approximates |E_h2h| from the high-degree sequence with the
+// Chung–Lu expected-multiplicity model: an edge between v and u exists with
+// probability ≈ d(v)·d(u)/(2m). The exact count requires a pass over the
+// edges (TauSweep does that); this closed form backs the quick estimator.
+func estimateH2H(highDeg []int32, m int64) int64 {
+	if m == 0 || len(highDeg) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, d := range highDeg {
+		sum += float64(d)
+	}
+	// Expected edges inside the high set ≈ (Σd)² / (4m), capped at m.
+	est := int64(sum * sum / (4 * float64(m)))
+	if est > m {
+		est = m
+	}
+	return est
+}
+
+// SweepPoint is one row of the τ pre-computation (Table 2's workload):
+// exact column-array size and H2H count for a candidate τ.
+type SweepPoint struct {
+	Tau        float64
+	Footprint  Footprint
+	ExactH2H   int64
+	ExactColmn int64
+}
+
+// TauSweep computes, in one pass over the degree array plus one pass over
+// the edges, the exact memory footprint for every candidate τ — the
+// pre-computation step of §4.4 whose run-time Table 2 reports. Candidates
+// must be sorted descending for the cumulative trick to apply; the function
+// sorts a copy defensively.
+func TauSweep(src graph.EdgeStream, k int, taus []float64) ([]SweepPoint, error) {
+	deg, m, err := graph.Degrees(src)
+	if err != nil {
+		return nil, err
+	}
+	n := len(deg)
+	mean := graph.MeanDegree(n, m)
+
+	sorted := append([]float64(nil), taus...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+
+	points := make([]SweepPoint, len(sorted))
+	for i, tau := range sorted {
+		points[i] = SweepPoint{Tau: tau, Footprint: Estimate(deg, m, k, tau)}
+	}
+	// Exact per-τ column entries and H2H counts in a single edge pass:
+	// degree thresholds are monotone in τ, so an edge is H2H for all τ
+	// below the largest threshold at which both endpoints are high.
+	for i := range points {
+		tau := points[i].Tau
+		var col int64
+		for _, d := range deg {
+			if !graph.HighDegree(d, tau, mean) {
+				col += int64(d)
+			}
+		}
+		points[i].ExactColmn = col
+	}
+	err = src.Edges(func(u, v graph.V) bool {
+		for i := range points {
+			tau := points[i].Tau
+			if graph.HighDegree(deg[u], tau, mean) && graph.HighDegree(deg[v], tau, mean) {
+				points[i].ExactH2H++
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return points, nil
+}
+
+// ChooseTau returns the largest candidate τ whose exact §4.2 footprint
+// (with the exact column-array size) fits budgetBytes, and whether any
+// candidate fits. Larger τ means more edges handled in memory and a better
+// replication factor (§4.3), so the maximum feasible τ is optimal.
+func ChooseTau(src graph.EdgeStream, k int, taus []float64, budgetBytes int64) (float64, bool, error) {
+	points, err := TauSweep(src, k, taus)
+	if err != nil {
+		return 0, false, err
+	}
+	for _, p := range points { // sorted descending
+		f := p.Footprint
+		f.ColumnArray = p.ExactColmn * BytesPerID
+		if f.Total() <= budgetBytes {
+			return p.Tau, true, nil
+		}
+	}
+	return 0, false, nil
+}

@@ -1,0 +1,130 @@
+package memmodel
+
+import (
+	"math"
+	"testing"
+
+	"hep/internal/gen"
+	"hep/internal/graph"
+)
+
+func TestEstimateComponents(t *testing.T) {
+	// 4 vertices, 3 edges path: degrees 1,2,2,1, mean 1.5.
+	deg := []int32{1, 2, 2, 1}
+	f := Estimate(deg, 3, 4, math.Inf(1))
+	if f.ColumnArray != 6*BytesPerID {
+		t.Fatalf("column = %d", f.ColumnArray)
+	}
+	if f.IndexArrays != 2*4*BytesPerID || f.SizeFields != 2*4*BytesPerID || f.Heap != 2*4*BytesPerID {
+		t.Fatal("fixed components wrong")
+	}
+	if f.Bitsets != int64(4*(4+1)/8) {
+		t.Fatalf("bitsets = %d", f.Bitsets)
+	}
+	want := f.ColumnArray + f.IndexArrays + f.SizeFields + f.Bitsets + f.Heap
+	if f.Total() != want {
+		t.Fatal("total mismatch")
+	}
+}
+
+func TestEstimatePruningShrinksColumn(t *testing.T) {
+	g := gen.BarabasiAlbert(2000, 6, 1)
+	deg, m, err := graph.Degrees(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := Estimate(deg, m, 32, math.Inf(1))
+	pruned := Estimate(deg, m, 32, 1)
+	if pruned.ColumnArray >= full.ColumnArray {
+		t.Fatalf("pruned column %d not below full %d", pruned.ColumnArray, full.ColumnArray)
+	}
+	if full.H2HEdges != 0 {
+		t.Fatal("no pruning should mean no h2h")
+	}
+	if pruned.H2HEdges == 0 {
+		t.Fatal("tau=1 should estimate h2h edges on a power-law graph")
+	}
+}
+
+func TestTauSweepExactMatchesCSR(t *testing.T) {
+	g := gen.BarabasiAlbert(1500, 5, 2)
+	taus := []float64{100, 10, 2, 1}
+	points, err := TauSweep(g, 16, taus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(taus) {
+		t.Fatalf("points = %d", len(points))
+	}
+	// Descending τ order.
+	for i := 1; i < len(points); i++ {
+		if points[i].Tau > points[i-1].Tau {
+			t.Fatal("sweep not sorted descending")
+		}
+		// Lower τ ⇒ more pruning ⇒ smaller column, more h2h.
+		if points[i].ExactColmn > points[i-1].ExactColmn {
+			t.Fatal("column entries not monotone")
+		}
+		if points[i].ExactH2H < points[i-1].ExactH2H {
+			t.Fatal("h2h not monotone")
+		}
+	}
+	// Cross-check each point against a real CSR build.
+	for _, p := range points {
+		csr, err := graph.BuildCSR(g, p.Tau, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if csr.ColLen() != p.ExactColmn {
+			t.Errorf("tau=%v: sweep column %d, CSR %d", p.Tau, p.ExactColmn, csr.ColLen())
+		}
+		if csr.H2H().Len() != p.ExactH2H {
+			t.Errorf("tau=%v: sweep h2h %d, CSR %d", p.Tau, p.ExactH2H, csr.H2H().Len())
+		}
+	}
+}
+
+func TestChooseTau(t *testing.T) {
+	g := gen.BarabasiAlbert(2000, 8, 3)
+	taus := []float64{100, 10, 4, 1}
+	// A huge budget must pick the largest τ.
+	tau, ok, err := ChooseTau(g, 32, taus, 1<<40)
+	if err != nil || !ok || tau != 100 {
+		t.Fatalf("huge budget: tau=%v ok=%v err=%v", tau, ok, err)
+	}
+	// A tiny budget must fail.
+	_, ok, err = ChooseTau(g, 32, taus, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("10-byte budget satisfied")
+	}
+	// A budget between the τ=1 and τ=100 footprints must pick some
+	// intermediate τ, and the chosen footprint must actually fit.
+	points, err := TauSweep(g, 32, taus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	low := points[len(points)-1] // smallest τ = smallest footprint
+	budget := low.Footprint.Total() - low.Footprint.ColumnArray + low.ExactColmn*BytesPerID + 1
+	tau, ok, err = ChooseTau(g, 32, taus, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("budget %d should admit tau=1", budget)
+	}
+	if tau > 100 {
+		t.Fatalf("chose tau=%v", tau)
+	}
+}
+
+func TestEstimateH2HCapped(t *testing.T) {
+	if est := estimateH2H([]int32{1000, 1000}, 10); est != 10 {
+		t.Fatalf("estimate %d not capped at m", est)
+	}
+	if estimateH2H(nil, 100) != 0 {
+		t.Fatal("empty high set should give 0")
+	}
+}

@@ -1,0 +1,159 @@
+// Package metrics computes the partitioning-quality measures of paper §2
+// and §5: replication factor, edge balance α, vertex balance (Table 5) and
+// per-degree-bucket replication factors (Figure 2).
+package metrics
+
+import (
+	"math"
+
+	"hep/internal/part"
+)
+
+// Summary is the metric row the experiment harness reports per run.
+type Summary struct {
+	Algorithm         string
+	K                 int
+	ReplicationFactor float64
+	Balance           float64 // α = k·maxLoad/|E|
+	VertexBalance     float64 // std/avg of |V(p_i)| (Table 5)
+	MaxLoad           int64
+	MinLoad           int64
+	Edges             int64
+}
+
+// Summarize computes all scalar metrics of a result.
+func Summarize(name string, res *part.Result) Summary {
+	return Summary{
+		Algorithm:         name,
+		K:                 res.K,
+		ReplicationFactor: res.ReplicationFactor(),
+		Balance:           res.Balance(),
+		VertexBalance:     VertexBalance(res),
+		MaxLoad:           res.MaxLoad(),
+		MinLoad:           res.MinLoad(),
+		Edges:             res.M,
+	}
+}
+
+// VertexBalance returns the standard deviation over the average of the
+// per-partition vertex replica counts |V(p_i)| — the measure of Table 5
+// ("std. deviation / average number of vertex replicas per partition").
+func VertexBalance(res *part.Result) float64 {
+	counts := res.VertexCounts()
+	if len(counts) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, c := range counts {
+		sum += float64(c)
+	}
+	avg := sum / float64(len(counts))
+	if avg == 0 {
+		return 0
+	}
+	var varsum float64
+	for _, c := range counts {
+		d := float64(c) - avg
+		varsum += d * d
+	}
+	std := math.Sqrt(varsum / float64(len(counts)))
+	return std / avg
+}
+
+// DegreeBucket is one decade bucket of Figure 2: vertices with degree in
+// (Lo, Hi], their share of the vertex set, and their mean replication
+// factor under the partitioning.
+type DegreeBucket struct {
+	Lo, Hi           int32
+	FractionVertices float64
+	MeanReplication  float64
+	Vertices         int
+}
+
+// DegreeBucketRF computes Figure 2's series: decade degree buckets
+// ([1,10], (10,100], …) against the mean number of replicas of the bucket's
+// vertices. Isolated vertices are excluded (they are never replicated).
+func DegreeBucketRF(deg []int32, res *part.Result) []DegreeBucket {
+	reps := res.ReplicaCounts()
+	var maxDeg int32
+	for _, d := range deg {
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if maxDeg == 0 {
+		return nil
+	}
+	var buckets []DegreeBucket
+	nonIsolated := 0
+	for _, d := range deg {
+		if d > 0 {
+			nonIsolated++
+		}
+	}
+	for lo := int32(1); lo <= maxDeg; lo *= 10 {
+		hi := lo*10 - 1
+		b := DegreeBucket{Lo: lo, Hi: hi}
+		var repSum int64
+		for v, d := range deg {
+			if d >= lo && d <= hi {
+				b.Vertices++
+				repSum += int64(reps[v])
+			}
+		}
+		if b.Vertices > 0 {
+			b.MeanReplication = float64(repSum) / float64(b.Vertices)
+			if nonIsolated > 0 {
+				b.FractionVertices = float64(b.Vertices) / float64(nonIsolated)
+			}
+		}
+		buckets = append(buckets, b)
+	}
+	return buckets
+}
+
+// CutVertices returns the number of vertices replicated on more than one
+// partition (the vertex cut realized by the edge partitioning).
+func CutVertices(res *part.Result) int {
+	cut := 0
+	for _, r := range res.ReplicaCounts() {
+		if r > 1 {
+			cut++
+		}
+	}
+	return cut
+}
+
+// CommunicationVolume returns Σ_v (replicas(v) − 1), the number of
+// mirror→master synchronization channels a vertex-cut processing engine
+// maintains — the quantity replication-factor minimization is a proxy for
+// (paper §2).
+func CommunicationVolume(res *part.Result) int64 {
+	var vol int64
+	for _, r := range res.ReplicaCounts() {
+		if r > 1 {
+			vol += int64(r - 1)
+		}
+	}
+	return vol
+}
+
+// DegreeDistribution returns, per decade bucket, the fraction of vertices
+// whose degree falls in the bucket (the histogram overlay of Figure 2).
+func DegreeDistribution(deg []int32) []DegreeBucket {
+	res := part.NewResult(len(deg), 1)
+	return DegreeBucketRF(deg, res)
+}
+
+// MeanDegreeOf recomputes the mean degree from a degree slice (convenience
+// for harness output).
+func MeanDegreeOf(deg []int32) float64 {
+	if len(deg) == 0 {
+		return 0
+	}
+	var sum int64
+	for _, d := range deg {
+		sum += int64(d)
+	}
+	return float64(sum) / float64(len(deg))
+}

@@ -1,0 +1,119 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"hep/internal/part"
+)
+
+// star builds a 1-center star partitioning: center 0 replicated on both
+// partitions, leaves on one (Figure 1's example).
+func starResult() *part.Result {
+	r := part.NewResult(7, 2)
+	r.Assign(0, 1, 0)
+	r.Assign(0, 2, 0)
+	r.Assign(0, 3, 0)
+	r.Assign(0, 4, 1)
+	r.Assign(0, 5, 1)
+	r.Assign(0, 6, 1)
+	return r
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize("x", starResult())
+	// Covered vertices: 7; replicas: 4 + 4 = 8 → RF = 8/7.
+	want := 8.0 / 7.0
+	if math.Abs(s.ReplicationFactor-want) > 1e-12 {
+		t.Fatalf("RF = %v, want %v", s.ReplicationFactor, want)
+	}
+	if s.Balance != 1.0 {
+		t.Fatalf("balance = %v", s.Balance)
+	}
+	if s.MaxLoad != 3 || s.MinLoad != 3 {
+		t.Fatal("loads wrong")
+	}
+	if s.Algorithm != "x" || s.K != 2 {
+		t.Fatal("labels wrong")
+	}
+}
+
+func TestVertexBalance(t *testing.T) {
+	if vb := VertexBalance(starResult()); vb != 0 {
+		t.Fatalf("balanced star vb = %v", vb)
+	}
+	r := part.NewResult(6, 2)
+	r.Assign(0, 1, 0)
+	r.Assign(2, 3, 0)
+	r.Assign(4, 5, 0) // p0 has 6 vertices, p1 none… assign one edge to p1
+	r.Assign(0, 1, 1)
+	// |V(p0)|=6, |V(p1)|=2 → avg 4, std 2 → 0.5.
+	if vb := VertexBalance(r); math.Abs(vb-0.5) > 1e-12 {
+		t.Fatalf("vb = %v, want 0.5", vb)
+	}
+}
+
+func TestDegreeBucketRF(t *testing.T) {
+	deg := []int32{6, 1, 1, 1, 1, 1, 1} // star degrees
+	buckets := DegreeBucketRF(deg, starResult())
+	if len(buckets) != 1 {
+		t.Fatalf("buckets = %v", buckets)
+	}
+	b := buckets[0]
+	if b.Lo != 1 || b.Hi != 9 {
+		t.Fatalf("bucket bounds [%d,%d]", b.Lo, b.Hi)
+	}
+	if b.Vertices != 7 {
+		t.Fatalf("bucket vertices = %d", b.Vertices)
+	}
+	// Mean replication: center 2, six leaves 1 → 8/7.
+	if math.Abs(b.MeanReplication-8.0/7.0) > 1e-12 {
+		t.Fatalf("mean rep = %v", b.MeanReplication)
+	}
+	if math.Abs(b.FractionVertices-1) > 1e-12 {
+		t.Fatalf("fraction = %v", b.FractionVertices)
+	}
+}
+
+func TestDegreeBucketSplitsDecades(t *testing.T) {
+	deg := []int32{5, 50, 500}
+	res := part.NewResult(3, 1)
+	res.Assign(0, 1, 0)
+	res.Assign(1, 2, 0)
+	buckets := DegreeBucketRF(deg, res)
+	if len(buckets) != 3 {
+		t.Fatalf("want 3 decade buckets, got %d", len(buckets))
+	}
+	for i, b := range buckets {
+		if b.Vertices != 1 {
+			t.Errorf("bucket %d vertices = %d", i, b.Vertices)
+		}
+	}
+}
+
+func TestCutAndVolume(t *testing.T) {
+	r := starResult()
+	if c := CutVertices(r); c != 1 {
+		t.Fatalf("cut vertices = %d", c)
+	}
+	if v := CommunicationVolume(r); v != 1 {
+		t.Fatalf("comm volume = %d", v)
+	}
+}
+
+func TestDegreeDistributionAndMean(t *testing.T) {
+	deg := []int32{1, 1, 2, 0}
+	dist := DegreeDistribution(deg)
+	if len(dist) == 0 || dist[0].Vertices != 3 {
+		t.Fatalf("dist = %v", dist)
+	}
+	if m := MeanDegreeOf(deg); m != 1 {
+		t.Fatalf("mean = %v", m)
+	}
+	if MeanDegreeOf(nil) != 0 {
+		t.Fatal("empty mean")
+	}
+	if DegreeBucketRF([]int32{0, 0}, part.NewResult(2, 1)) != nil {
+		t.Fatal("all-isolated graph should give nil buckets")
+	}
+}

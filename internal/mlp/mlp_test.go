@@ -1,0 +1,95 @@
+package mlp
+
+import (
+	"math/rand"
+	"testing"
+
+	"hep/internal/gen"
+	"hep/internal/graph"
+)
+
+func TestMLPAssignsEverything(t *testing.T) {
+	for name, g := range map[string]*graph.MemGraph{
+		"ba":     gen.BarabasiAlbert(800, 5, 1),
+		"grid":   gen.Grid2D(30, 30),
+		"path":   gen.Path(100),
+		"clique": gen.Clique(20),
+	} {
+		res, err := (&MLP{Seed: 1}).Partition(g, 8)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.M != g.NumEdges() {
+			t.Fatalf("%s: assigned %d of %d", name, res.M, g.NumEdges())
+		}
+	}
+}
+
+func TestMLPMeshQuality(t *testing.T) {
+	// Multilevel partitioning's home turf: on a grid lattice it must find
+	// near-contiguous regions (RF close to 1), far better than hashing.
+	g := gen.Grid2D(50, 50)
+	res, err := (&MLP{Seed: 2}).Partition(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf := res.ReplicationFactor(); rf > 1.3 {
+		t.Errorf("grid RF = %.3f, multilevel lost mesh locality", rf)
+	}
+}
+
+func TestMLPCoarseningShrinks(t *testing.T) {
+	g := gen.BarabasiAlbert(2000, 5, 3)
+	base, err := buildLevel(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, shrunk := coarsen(base, rand.New(rand.NewSource(1)))
+	if !shrunk {
+		t.Fatal("coarsening stalled on a healthy graph")
+	}
+	if next.n >= base.n {
+		t.Fatalf("coarse n=%d not below fine n=%d", next.n, base.n)
+	}
+	// Vertex weight is conserved under contraction.
+	var fineW, coarseW int64
+	for _, w := range base.vwgt {
+		fineW += w
+	}
+	for _, w := range next.vwgt {
+		coarseW += w
+	}
+	if fineW != coarseW {
+		t.Fatalf("vertex weight changed: %d -> %d", fineW, coarseW)
+	}
+}
+
+func TestMLPDeterministic(t *testing.T) {
+	g := gen.BarabasiAlbert(600, 4, 4)
+	a, err := (&MLP{Seed: 9}).Partition(g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := (&MLP{Seed: 9}).Partition(g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Counts {
+		if a.Counts[i] != b.Counts[i] {
+			t.Fatal("MLP not deterministic for a fixed seed")
+		}
+	}
+}
+
+func TestMLPVertexWeightBalance(t *testing.T) {
+	// The vertex partitioning balances degree-weighted vertices within the
+	// imbalance bound; the edge conversion inherits approximate balance.
+	g := gen.BarabasiAlbert(1500, 5, 5)
+	res, err := (&MLP{Seed: 3, Imbalance: 1.1}).Partition(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Balance() > 1.6 {
+		t.Errorf("edge balance α = %.2f far beyond the vertex-weight bound", res.Balance())
+	}
+}

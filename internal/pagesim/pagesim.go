@@ -1,0 +1,156 @@
+// Package pagesim simulates running NE++ under a memory restriction with
+// page-granular swapping, standing in for the cgroups + SSD experiment of
+// paper §5.5 (Table 6). It replays the column-array access trace emitted by
+// the core.Tracer hook through an LRU page cache of configurable capacity,
+// counting hard page faults; modeled run-time adds a per-fault service cost
+// to the unconstrained CPU time.
+package pagesim
+
+// PageSize is the simulated page granularity (4 KiB, the Linux default the
+// paper's evaluation platform uses).
+const PageSize = 4096
+
+// entrySize is the byte width of a column-array entry (32-bit vertex ids,
+// Table 3).
+const entrySize = 4
+
+// LRU is a page-granular least-recently-used cache simulator. It implements
+// core.Tracer, so it can be plugged directly into a NE++ run.
+type LRU struct {
+	capacity int // pages
+	// Intrusive doubly linked list over cache slots + page table.
+	slots []slot
+	index map[int64]int32 // page id -> slot
+	head  int32           // most recently used
+	tail  int32           // least recently used
+	free  []int32
+
+	faults   int64
+	accesses int64
+}
+
+type slot struct {
+	page       int64
+	prev, next int32
+}
+
+// NewLRU returns a cache able to hold memBytes of column-array pages.
+func NewLRU(memBytes int64) *LRU {
+	pages := int(memBytes / PageSize)
+	if pages < 1 {
+		pages = 1
+	}
+	l := &LRU{
+		capacity: pages,
+		slots:    make([]slot, pages),
+		index:    make(map[int64]int32, pages),
+		head:     -1,
+		tail:     -1,
+	}
+	l.free = make([]int32, pages)
+	for i := range l.free {
+		l.free[i] = int32(pages - 1 - i)
+	}
+	return l
+}
+
+// Touch implements core.Tracer: it records an access to column entries
+// [off, off+n), touching every covered page.
+func (l *LRU) Touch(off int64, n int32) {
+	if n <= 0 {
+		// Even an empty segment reads its bounds once.
+		l.touchPage(off * entrySize / PageSize)
+		return
+	}
+	first := off * entrySize / PageSize
+	last := (off + int64(n) - 1) * entrySize / PageSize
+	for p := first; p <= last; p++ {
+		l.touchPage(p)
+	}
+}
+
+func (l *LRU) touchPage(page int64) {
+	l.accesses++
+	if s, ok := l.index[page]; ok {
+		l.moveToFront(s)
+		return
+	}
+	l.faults++
+	var s int32
+	if len(l.free) > 0 {
+		s = l.free[len(l.free)-1]
+		l.free = l.free[:len(l.free)-1]
+	} else {
+		// Evict the LRU page.
+		s = l.tail
+		delete(l.index, l.slots[s].page)
+		l.detach(s)
+	}
+	l.slots[s].page = page
+	l.index[page] = s
+	l.pushFront(s)
+}
+
+func (l *LRU) detach(s int32) {
+	sl := &l.slots[s]
+	if sl.prev >= 0 {
+		l.slots[sl.prev].next = sl.next
+	} else {
+		l.head = sl.next
+	}
+	if sl.next >= 0 {
+		l.slots[sl.next].prev = sl.prev
+	} else {
+		l.tail = sl.prev
+	}
+}
+
+func (l *LRU) pushFront(s int32) {
+	sl := &l.slots[s]
+	sl.prev = -1
+	sl.next = l.head
+	if l.head >= 0 {
+		l.slots[l.head].prev = s
+	}
+	l.head = s
+	if l.tail < 0 {
+		l.tail = s
+	}
+}
+
+func (l *LRU) moveToFront(s int32) {
+	if l.head == s {
+		return
+	}
+	l.detach(s)
+	l.pushFront(s)
+}
+
+// Faults returns the number of hard page faults so far.
+func (l *LRU) Faults() int64 { return l.faults }
+
+// Accesses returns the number of page touches so far.
+func (l *LRU) Accesses() int64 { return l.accesses }
+
+// HitRate returns the fraction of touches served from the cache.
+func (l *LRU) HitRate() float64 {
+	if l.accesses == 0 {
+		return 1
+	}
+	return 1 - float64(l.faults)/float64(l.accesses)
+}
+
+// Model turns a fault count into a run-time estimate: base CPU seconds plus
+// faults × per-fault service time (default 80 µs ≈ SSD random 4 KiB read +
+// kernel fault handling, matching the paper's SSD swap device).
+type Model struct {
+	FaultServiceSec float64
+}
+
+// DefaultModel returns the SSD swap cost model.
+func DefaultModel() Model { return Model{FaultServiceSec: 80e-6} }
+
+// RunTime combines measured CPU seconds with modeled fault stalls.
+func (m Model) RunTime(cpuSeconds float64, faults int64) float64 {
+	return cpuSeconds + float64(faults)*m.FaultServiceSec
+}

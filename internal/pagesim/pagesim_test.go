@@ -1,0 +1,101 @@
+package pagesim
+
+import (
+	"testing"
+
+	"hep/internal/core"
+	"hep/internal/gen"
+)
+
+func TestLRUBasics(t *testing.T) {
+	l := NewLRU(2 * PageSize) // 2 pages
+	l.Touch(0, 1)             // page 0 → fault
+	l.Touch(0, 1)             // hit
+	if l.Faults() != 1 || l.Accesses() != 2 {
+		t.Fatalf("faults=%d accesses=%d", l.Faults(), l.Accesses())
+	}
+	l.Touch(PageSize/entrySize, 1)   // page 1 → fault
+	l.Touch(2*PageSize/entrySize, 1) // page 2 → fault, evicts LRU (page 0)
+	l.Touch(0, 1)                    // page 0 again → fault (was evicted)
+	if l.Faults() != 4 {
+		t.Fatalf("faults = %d, want 4", l.Faults())
+	}
+}
+
+func TestLRUKeepsHotPage(t *testing.T) {
+	l := NewLRU(2 * PageSize)
+	hot := int64(0)
+	for i := int64(1); i <= 10; i++ {
+		l.Touch(hot, 1)                  // keep page 0 hot
+		l.Touch(i*PageSize/entrySize, 1) // stream of cold pages
+	}
+	// Page 0 faulted once; each cold page faulted once.
+	if l.Faults() != 11 {
+		t.Fatalf("faults = %d, want 11", l.Faults())
+	}
+}
+
+func TestTouchRangeSpansPages(t *testing.T) {
+	l := NewLRU(64 * PageSize)
+	perPage := int64(PageSize / entrySize)
+	l.Touch(0, int32(3*perPage)) // touches pages 0,1,2
+	if l.Faults() != 3 {
+		t.Fatalf("faults = %d, want 3", l.Faults())
+	}
+	l.Touch(perPage-1, 2) // straddles pages 0-1: both cached
+	if l.Faults() != 3 {
+		t.Fatalf("straddling touch faulted: %d", l.Faults())
+	}
+}
+
+func TestZeroLengthTouch(t *testing.T) {
+	l := NewLRU(PageSize)
+	l.Touch(100, 0)
+	if l.Accesses() != 1 {
+		t.Fatal("empty segment should still read its bounds")
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	l := NewLRU(PageSize)
+	if l.HitRate() != 1 {
+		t.Fatal("empty cache hit rate")
+	}
+	l.Touch(0, 1)
+	l.Touch(0, 1)
+	if hr := l.HitRate(); hr != 0.5 {
+		t.Fatalf("hit rate = %v", hr)
+	}
+}
+
+// TestFaultsMonotoneInMemory reproduces Table 6's shape: running NE++ under
+// smaller simulated memory produces monotonically more hard faults.
+func TestFaultsMonotoneInMemory(t *testing.T) {
+	g := gen.BarabasiAlbert(4000, 8, 3)
+	var prev int64 = -1
+	for _, mb := range []int64{8 << 20, 1 << 20, 256 << 10, 64 << 10} {
+		lru := NewLRU(mb)
+		h := &core.HEP{Tau: 10, Tracer: lru}
+		if _, err := h.Partition(g, 16); err != nil {
+			t.Fatal(err)
+		}
+		if prev >= 0 && lru.Faults() < prev {
+			t.Errorf("mem %d: faults %d decreased below %d", mb, lru.Faults(), prev)
+		}
+		prev = lru.Faults()
+	}
+	if prev == 0 {
+		t.Fatal("no faults even at 64 KiB; tracer not wired?")
+	}
+}
+
+func TestModelRunTime(t *testing.T) {
+	m := DefaultModel()
+	base := m.RunTime(1.0, 0)
+	if base != 1.0 {
+		t.Fatalf("base = %v", base)
+	}
+	if m.RunTime(1.0, 1000) <= base {
+		t.Fatal("faults did not increase modeled run-time")
+	}
+}

@@ -1,0 +1,195 @@
+// Package part defines the common result representation shared by every
+// edge partitioner in the repository: per-partition edge counts and replica
+// (covered-vertex) sets, from which all quality metrics of paper §2 derive.
+package part
+
+import (
+	"fmt"
+
+	"hep/internal/bitset"
+	"hep/internal/graph"
+)
+
+// Sink optionally receives every edge assignment as it happens. Partitioners
+// tolerate a nil sink. Sinks are used to write partition files, feed the
+// processing simulator, and verify the exactly-once invariant in tests.
+type Sink interface {
+	Assign(u, v graph.V, p int)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(u, v graph.V, p int)
+
+// Assign implements Sink.
+func (f SinkFunc) Assign(u, v graph.V, p int) { f(u, v, p) }
+
+// Result accumulates a k-way edge partitioning of a graph with n vertices:
+// edge counts and the vertex replica set per partition. A vertex v is
+// replicated on partition p iff some edge incident to v was assigned to p
+// (paper §2: V(p_i)).
+type Result struct {
+	K int
+	N int
+	M int64 // number of edges assigned so far
+
+	Counts   []int64
+	Replicas []*bitset.Set
+
+	// Sink, if non-nil, receives every assignment.
+	Sink Sink
+}
+
+// NewResult returns an empty result for a graph with n vertices and k
+// partitions.
+func NewResult(n, k int) *Result {
+	r := &Result{
+		K:        k,
+		N:        n,
+		Counts:   make([]int64, k),
+		Replicas: make([]*bitset.Set, k),
+	}
+	for i := range r.Replicas {
+		r.Replicas[i] = bitset.New(n)
+	}
+	return r
+}
+
+// Assign records edge (u,v) in partition p.
+func (r *Result) Assign(u, v graph.V, p int) {
+	r.Counts[p]++
+	r.M++
+	r.Replicas[p].Set(u)
+	r.Replicas[p].Set(v)
+	if r.Sink != nil {
+		r.Sink.Assign(u, v, p)
+	}
+}
+
+// ReplicationFactor returns RF = (1/|V'|) Σ_i |V(p_i)| where |V'| is the
+// number of vertices covered by at least one partition (isolated vertices
+// are not counted; they are never replicated anywhere).
+func (r *Result) ReplicationFactor() float64 {
+	covered := bitset.New(r.N)
+	total := 0
+	for _, rep := range r.Replicas {
+		total += rep.Count()
+		covered.Union(rep)
+	}
+	c := covered.Count()
+	if c == 0 {
+		return 0
+	}
+	return float64(total) / float64(c)
+}
+
+// MaxLoad returns the size of the largest partition.
+func (r *Result) MaxLoad() int64 {
+	var max int64
+	for _, c := range r.Counts {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// MinLoad returns the size of the smallest partition.
+func (r *Result) MinLoad() int64 {
+	if r.K == 0 {
+		return 0
+	}
+	min := r.Counts[0]
+	for _, c := range r.Counts[1:] {
+		if c < min {
+			min = c
+		}
+	}
+	return min
+}
+
+// Balance returns the balancing factor α = k·maxLoad/|E| (α = 1.0 is a
+// perfectly balanced partitioning; the constraint of §2 is α ≤ some bound).
+func (r *Result) Balance() float64 {
+	if r.M == 0 {
+		return 1
+	}
+	return float64(r.MaxLoad()) * float64(r.K) / float64(r.M)
+}
+
+// ReplicaCounts returns, per vertex, the number of partitions covering it.
+func (r *Result) ReplicaCounts() []int32 {
+	counts := make([]int32, r.N)
+	for _, rep := range r.Replicas {
+		rep.Range(func(v uint32) bool {
+			counts[v]++
+			return true
+		})
+	}
+	return counts
+}
+
+// VertexCounts returns |V(p_i)| for every partition.
+func (r *Result) VertexCounts() []int {
+	out := make([]int, r.K)
+	for i, rep := range r.Replicas {
+		out[i] = rep.Count()
+	}
+	return out
+}
+
+// Validate performs internal consistency checks: counts sum to M, and every
+// partition with edges has a non-empty replica set.
+func (r *Result) Validate() error {
+	var sum int64
+	for i, c := range r.Counts {
+		if c < 0 {
+			return fmt.Errorf("part: negative count in partition %d", i)
+		}
+		sum += c
+		if c > 0 && r.Replicas[i].Count() == 0 {
+			return fmt.Errorf("part: partition %d has %d edges but no replicas", i, c)
+		}
+	}
+	if sum != r.M {
+		return fmt.Errorf("part: counts sum %d != M %d", sum, r.M)
+	}
+	return nil
+}
+
+// Algorithm is the uniform interface the experiment harness drives. K and
+// algorithm-specific knobs are fields of the implementing struct.
+type Algorithm interface {
+	Name() string
+	Partition(src graph.EdgeStream, k int) (*Result, error)
+}
+
+// SinkHolder is embedded by every algorithm so callers can attach an
+// assignment sink before Partition; implementations copy Sink into the
+// results they create.
+type SinkHolder struct {
+	Sink Sink
+}
+
+// SetSink implements SinkSetter.
+func (s *SinkHolder) SetSink(sink Sink) { s.Sink = sink }
+
+// SinkSetter attaches an assignment sink to an algorithm.
+type SinkSetter interface {
+	SetSink(Sink)
+}
+
+// Collect is a test Sink that records every assignment.
+type Collect struct {
+	Edges []TaggedEdge
+}
+
+// TaggedEdge is an edge together with the partition it was assigned to.
+type TaggedEdge struct {
+	E graph.Edge
+	P int
+}
+
+// Assign implements Sink.
+func (c *Collect) Assign(u, v graph.V, p int) {
+	c.Edges = append(c.Edges, TaggedEdge{E: graph.Edge{U: u, V: v}, P: p})
+}

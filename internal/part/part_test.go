@@ -1,0 +1,101 @@
+package part
+
+import (
+	"testing"
+
+	"hep/internal/graph"
+)
+
+func TestAssignAndMetrics(t *testing.T) {
+	r := NewResult(5, 2)
+	r.Assign(0, 1, 0)
+	r.Assign(1, 2, 0)
+	r.Assign(0, 3, 1)
+	if r.M != 3 {
+		t.Fatalf("M = %d", r.M)
+	}
+	if r.Counts[0] != 2 || r.Counts[1] != 1 {
+		t.Fatalf("counts = %v", r.Counts)
+	}
+	// Covered: {0,1,2} on p0, {0,3} on p1 → RF = 5/4.
+	if rf := r.ReplicationFactor(); rf != 1.25 {
+		t.Fatalf("RF = %v, want 1.25", rf)
+	}
+	if r.MaxLoad() != 2 || r.MinLoad() != 1 {
+		t.Fatal("load bounds wrong")
+	}
+	// α = k·max/|E| = 2·2/3.
+	if b := r.Balance(); b < 1.33 || b > 1.34 {
+		t.Fatalf("balance = %v", b)
+	}
+}
+
+func TestReplicationFactorEmptyAndSingle(t *testing.T) {
+	if rf := NewResult(10, 4).ReplicationFactor(); rf != 0 {
+		t.Fatalf("empty RF = %v", rf)
+	}
+	r := NewResult(3, 1)
+	r.Assign(0, 1, 0)
+	if rf := r.ReplicationFactor(); rf != 1 {
+		t.Fatalf("single-partition RF = %v", rf)
+	}
+}
+
+func TestReplicaCountsAndVertexCounts(t *testing.T) {
+	r := NewResult(4, 3)
+	r.Assign(0, 1, 0)
+	r.Assign(0, 2, 1)
+	r.Assign(0, 3, 2)
+	counts := r.ReplicaCounts()
+	if counts[0] != 3 {
+		t.Fatalf("vertex 0 replicas = %d", counts[0])
+	}
+	vc := r.VertexCounts()
+	if vc[0] != 2 || vc[1] != 2 || vc[2] != 2 {
+		t.Fatalf("vertex counts = %v", vc)
+	}
+}
+
+func TestSinkForwarding(t *testing.T) {
+	col := &Collect{}
+	r := NewResult(3, 2)
+	r.Sink = col
+	r.Assign(0, 1, 1)
+	if len(col.Edges) != 1 || col.Edges[0].P != 1 || col.Edges[0].E != (graph.Edge{U: 0, V: 1}) {
+		t.Fatalf("collected %v", col.Edges)
+	}
+	var called bool
+	r.Sink = SinkFunc(func(u, v graph.V, p int) { called = true })
+	r.Assign(1, 2, 0)
+	if !called {
+		t.Fatal("SinkFunc not invoked")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	r := NewResult(3, 2)
+	r.Assign(0, 1, 0)
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	r.Counts[1] = 5 // corrupt
+	if err := r.Validate(); err == nil {
+		t.Fatal("corrupted counts accepted")
+	}
+	r2 := NewResult(3, 2)
+	r2.Counts[0] = 1
+	r2.M = 1
+	if err := r2.Validate(); err == nil {
+		t.Fatal("edges without replicas accepted")
+	}
+}
+
+func TestSinkHolder(t *testing.T) {
+	var h SinkHolder
+	col := &Collect{}
+	h.SetSink(col)
+	if h.Sink != col {
+		t.Fatal("SetSink did not store")
+	}
+	var _ SinkSetter = &h
+}

@@ -1,0 +1,146 @@
+// Package parttest provides the shared validity checks every partitioner in
+// the repository must satisfy: each input edge assigned to exactly one
+// partition, partition loads within the balance bound, and replica sets
+// consistent with the assignments.
+package parttest
+
+import (
+	"fmt"
+	"sort"
+
+	"hep/internal/graph"
+	"hep/internal/part"
+)
+
+// CheckExactlyOnce verifies that the collected assignments form exactly the
+// input edge multiset (comparing canonical orientations) and that the
+// collected per-partition counts match res.Counts.
+func CheckExactlyOnce(src graph.EdgeStream, res *part.Result, col *part.Collect) error {
+	var want []graph.Edge
+	err := src.Edges(func(u, v graph.V) bool {
+		want = append(want, graph.Edge{U: u, V: v}.Canonical())
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	got := make([]graph.Edge, len(col.Edges))
+	counts := make([]int64, res.K)
+	for i, te := range col.Edges {
+		got[i] = te.E.Canonical()
+		if te.P < 0 || te.P >= res.K {
+			return fmt.Errorf("edge %v assigned to out-of-range partition %d", te.E, te.P)
+		}
+		counts[te.P]++
+	}
+	if len(got) != len(want) {
+		return fmt.Errorf("assigned %d edges, want %d", len(got), len(want))
+	}
+	sortEdges(want)
+	sortEdges(got)
+	for i := range want {
+		if want[i] != got[i] {
+			return fmt.Errorf("edge multiset mismatch at sorted index %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+	for p := range counts {
+		if counts[p] != res.Counts[p] {
+			return fmt.Errorf("partition %d: sink saw %d edges, result counted %d", p, counts[p], res.Counts[p])
+		}
+	}
+	return nil
+}
+
+// CheckReplicas verifies that every assigned edge's endpoints are in the
+// replica set of its partition, and that no replica exists without a
+// supporting edge.
+func CheckReplicas(res *part.Result, col *part.Collect) error {
+	n := res.N
+	seen := make([]map[graph.V]bool, res.K)
+	for i := range seen {
+		seen[i] = make(map[graph.V]bool)
+	}
+	for _, te := range col.Edges {
+		if !res.Replicas[te.P].Has(te.E.U) || !res.Replicas[te.P].Has(te.E.V) {
+			return fmt.Errorf("edge %v in partition %d but endpoint not replicated there", te.E, te.P)
+		}
+		seen[te.P][te.E.U] = true
+		seen[te.P][te.E.V] = true
+	}
+	for p := 0; p < res.K; p++ {
+		var bad error
+		res.Replicas[p].Range(func(v uint32) bool {
+			if int(v) >= n {
+				bad = fmt.Errorf("partition %d: replica %d out of range", p, v)
+				return false
+			}
+			if !seen[p][v] {
+				bad = fmt.Errorf("partition %d: vertex %d replicated without incident edge", p, v)
+				return false
+			}
+			return true
+		})
+		if bad != nil {
+			return bad
+		}
+	}
+	return nil
+}
+
+// CheckBalance verifies every partition load is within ⌈α·|E|/k⌉ + slack.
+func CheckBalance(res *part.Result, alpha float64, slack int64) error {
+	bound := int64(alpha*float64(res.M)/float64(res.K)) + 1 + slack
+	for p, c := range res.Counts {
+		if c > bound {
+			return fmt.Errorf("partition %d holds %d edges, bound %d (α=%.2f, m=%d, k=%d)", p, c, bound, alpha, res.M, res.K)
+		}
+	}
+	return nil
+}
+
+// RunAndCheck runs algo on src with k partitions, a collecting sink wired
+// in, and applies all validity checks. It returns the result for further
+// metric assertions.
+func RunAndCheck(algo part.Algorithm, src graph.EdgeStream, k int, alpha float64, slack int64) (*part.Result, error) {
+	col := &part.Collect{}
+	res, err := runWithSink(algo, src, k, col)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %v", algo.Name(), err)
+	}
+	if err := res.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %v", algo.Name(), err)
+	}
+	if err := CheckExactlyOnce(src, res, col); err != nil {
+		return nil, fmt.Errorf("%s: %v", algo.Name(), err)
+	}
+	if err := CheckReplicas(res, col); err != nil {
+		return nil, fmt.Errorf("%s: %v", algo.Name(), err)
+	}
+	if alpha > 0 {
+		if err := CheckBalance(res, alpha, slack); err != nil {
+			return nil, fmt.Errorf("%s: %v", algo.Name(), err)
+		}
+	}
+	return res, nil
+}
+
+// runWithSink attaches the sink via part.SinkSetter (every algorithm embeds
+// part.SinkHolder) and runs the partitioning.
+func runWithSink(algo part.Algorithm, src graph.EdgeStream, k int, sink part.Sink) (*part.Result, error) {
+	ss, ok := algo.(part.SinkSetter)
+	if !ok {
+		return nil, fmt.Errorf("algorithm %s does not support assignment sinks", algo.Name())
+	}
+	ss.SetSink(sink)
+	defer ss.SetSink(nil)
+	return algo.Partition(src, k)
+}
+
+func sortEdges(e []graph.Edge) {
+	sort.Slice(e, func(i, j int) bool {
+		if e[i].U != e[j].U {
+			return e[i].U < e[j].U
+		}
+		return e[i].V < e[j].V
+	})
+}

@@ -1,0 +1,217 @@
+package procsim
+
+import (
+	"math"
+	"testing"
+
+	"hep/internal/core"
+	"hep/internal/gen"
+	"hep/internal/graph"
+	"hep/internal/part"
+	"hep/internal/stream"
+)
+
+// buildCluster partitions g with algo and returns the simulated cluster.
+func buildCluster(t *testing.T, algo part.Algorithm, g *graph.MemGraph, k int) (*Cluster, *part.Result) {
+	t.Helper()
+	col := NewCollector(k)
+	algo.(part.SinkSetter).SetSink(col)
+	defer algo.(part.SinkSetter).SetSink(nil)
+	res, err := algo.Partition(g, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCluster(res, col, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, res
+}
+
+func TestPageRankMatchesSequential(t *testing.T) {
+	g := gen.BarabasiAlbert(400, 3, 5)
+	c, _ := buildCluster(t, &core.HEP{Tau: 10}, g, 8)
+	ranks, rep := c.PageRank(30, 0.85)
+
+	// Sequential reference on the same undirected graph.
+	deg, _, err := graph.Degrees(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.NumVertices()
+	ref := make([]float64, n)
+	for i := range ref {
+		ref[i] = 1 / float64(n)
+	}
+	next := make([]float64, n)
+	for it := 0; it < 30; it++ {
+		for i := range next {
+			next[i] = 0
+		}
+		for _, e := range g.E {
+			next[e.V] += ref[e.U] / float64(deg[e.U])
+			next[e.U] += ref[e.V] / float64(deg[e.V])
+		}
+		for i := range next {
+			next[i] = (1-0.85)/float64(n) + 0.85*next[i]
+		}
+		ref, next = next, ref
+	}
+	for v := 0; v < n; v++ {
+		if math.Abs(ranks[v]-ref[v]) > 1e-9 {
+			t.Fatalf("rank[%d] = %v, reference %v", v, ranks[v], ref[v])
+		}
+	}
+	if rep.Messages == 0 || rep.SimSeconds <= 0 {
+		t.Fatalf("report not populated: %+v", rep)
+	}
+	if rep.Iterations != 30 {
+		t.Fatalf("iterations = %d", rep.Iterations)
+	}
+}
+
+func TestBFSMatchesSequential(t *testing.T) {
+	g := gen.CommunityPowerLaw(800, 10, 4, 0.2, 6)
+	c, _ := buildCluster(t, &stream.HDRF{}, g, 4)
+	seed := graph.V(1)
+	dist, rep := c.BFS([]graph.V{seed})
+
+	// Sequential BFS.
+	adj := make([][]graph.V, g.NumVertices())
+	for _, e := range g.E {
+		adj[e.U] = append(adj[e.U], e.V)
+		adj[e.V] = append(adj[e.V], e.U)
+	}
+	ref := make([]int32, g.NumVertices())
+	for i := range ref {
+		ref[i] = -1
+	}
+	ref[seed] = 0
+	queue := []graph.V{seed}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range adj[v] {
+			if ref[u] < 0 {
+				ref[u] = ref[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	for v := range ref {
+		if dist[v] != ref[v] {
+			t.Fatalf("dist[%d] = %d, reference %d", v, dist[v], ref[v])
+		}
+	}
+	if rep.Iterations == 0 {
+		t.Fatal("no BFS supersteps recorded")
+	}
+}
+
+func TestConnectedComponentsMatchUnionFind(t *testing.T) {
+	g := gen.DisconnectedComponents(4, 150, 3, 7)
+	c, _ := buildCluster(t, &core.HEP{Tau: 10}, g, 6)
+	labels, _ := c.ConnectedComponents()
+
+	// Union-find reference.
+	parent := make([]int, g.NumVertices())
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, e := range g.E {
+		ru, rv := find(int(e.U)), find(int(e.V))
+		if ru != rv {
+			parent[ru] = rv
+		}
+	}
+	// Same-component ⇔ same-label.
+	for _, e := range g.E {
+		if labels[e.U] != labels[e.V] {
+			t.Fatalf("edge %v endpoints got labels %d, %d", e, labels[e.U], labels[e.V])
+		}
+	}
+	rep := map[int]int64{}
+	for v := 0; v < g.NumVertices(); v++ {
+		if labels[v] < 0 {
+			continue
+		}
+		root := find(v)
+		if prev, ok := rep[root]; ok {
+			if prev != labels[v] {
+				t.Fatalf("component %d has labels %d and %d", root, prev, labels[v])
+			}
+		} else {
+			rep[root] = labels[v]
+		}
+	}
+	if len(rep) != 4 {
+		t.Fatalf("found %d components, want 4", len(rep))
+	}
+}
+
+func TestLowerRFMeansFewerMessages(t *testing.T) {
+	// The causal link of §5.3: better partitioning ⇒ less synchronization.
+	g := gen.CommunityPowerLaw(3000, 30, 8, 0.2, 8)
+	k := 16
+	good, goodRes := buildCluster(t, &core.HEP{Tau: 100}, g, k)
+	bad, badRes := buildCluster(t, &stream.Random{Seed: 2}, g, k)
+	if goodRes.ReplicationFactor() >= badRes.ReplicationFactor() {
+		t.Skip("partitioners did not produce the expected RF gap")
+	}
+	_, goodRep := good.PageRank(5, 0.85)
+	_, badRep := bad.PageRank(5, 0.85)
+	if goodRep.Messages >= badRep.Messages {
+		t.Errorf("HEP messages %d not below random's %d (RF %.2f vs %.2f)",
+			goodRep.Messages, badRep.Messages,
+			goodRes.ReplicationFactor(), badRes.ReplicationFactor())
+	}
+	if goodRep.SimSeconds >= badRep.SimSeconds {
+		t.Errorf("HEP sim time %.2f not below random's %.2f", goodRep.SimSeconds, badRep.SimSeconds)
+	}
+}
+
+func TestClusterRejectsMismatchedCollector(t *testing.T) {
+	res := part.NewResult(4, 3)
+	if _, err := NewCluster(res, NewCollector(2), DefaultCostModel()); err == nil {
+		t.Fatal("mismatched collector accepted")
+	}
+}
+
+func TestRandomSeedsCovered(t *testing.T) {
+	g := gen.BarabasiAlbert(300, 3, 9)
+	c, _ := buildCluster(t, &stream.DBH{}, g, 4)
+	seeds := c.RandomSeeds(10, 1)
+	if len(seeds) != 10 {
+		t.Fatalf("got %d seeds", len(seeds))
+	}
+	for _, s := range seeds {
+		if c.master[s] < 0 {
+			t.Fatalf("seed %d not covered", s)
+		}
+	}
+}
+
+func TestEmptyGraphPageRank(t *testing.T) {
+	res := part.NewResult(5, 2)
+	c, err := NewCluster(res, NewCollector(2), DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranks, rep := c.PageRank(3, 0.85)
+	for _, r := range ranks {
+		if r != 0 {
+			t.Fatal("rank on empty graph")
+		}
+	}
+	if rep.Messages != 0 {
+		t.Fatal("messages on empty graph")
+	}
+}

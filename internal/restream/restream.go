@@ -1,0 +1,80 @@
+// Package restream implements multi-pass (re-streaming) edge partitioning
+// in the style of Nishimura & Ugander (KDD 2013), the streaming-model
+// variation the paper's related work singles out (§6): the edge stream is
+// replayed several times, and each pass re-places every edge using the
+// complete placement state frozen from the previous pass. Later passes see
+// global information a single-pass partitioner never has, closing part of
+// the quality gap to in-memory partitioning at the cost of extra passes.
+package restream
+
+import (
+	"fmt"
+
+	"hep/internal/graph"
+	"hep/internal/part"
+	"hep/internal/stream"
+)
+
+// Restream is the multi-pass HDRF partitioner.
+type Restream struct {
+	part.SinkHolder
+
+	// Passes is the total number of streaming passes (default 3; 1 is
+	// plain HDRF).
+	Passes int
+	// Lambda is the HDRF balance weight (default 1.1).
+	Lambda float64
+	// Alpha is the balance bound α ≥ 1 (default 1.05).
+	Alpha float64
+}
+
+// Name implements part.Algorithm.
+func (r *Restream) Name() string { return fmt.Sprintf("ReHDRF-%d", r.passes()) }
+
+func (r *Restream) passes() int {
+	if r.Passes <= 0 {
+		return 3
+	}
+	return r.Passes
+}
+
+// Partition implements part.Algorithm.
+func (r *Restream) Partition(src graph.EdgeStream, k int) (*part.Result, error) {
+	lambda := r.Lambda
+	if lambda == 0 {
+		lambda = stream.DefaultLambda
+	}
+	alpha := r.Alpha
+	if alpha == 0 {
+		alpha = 1.05
+	}
+	deg, m, err := graph.Degrees(src)
+	if err != nil {
+		return nil, err
+	}
+	n := src.NumVertices()
+
+	// Pass 1: plain streamed HDRF with exact degrees.
+	res := part.NewResult(n, k)
+	if r.passes() == 1 {
+		res.Sink = r.Sink
+	}
+	if err := stream.RunHDRF(src, res, deg, lambda, alpha, m); err != nil {
+		return nil, err
+	}
+
+	// Passes 2..P: re-place each edge against the frozen previous state.
+	for pass := 1; pass < r.passes(); pass++ {
+		prev := res
+		next := part.NewResult(n, k)
+		if pass == r.passes()-1 {
+			next.Sink = r.Sink // only the final pass emits assignments
+		}
+		err := stream.RunHDRFWithState(src, next, prev, deg, lambda, alpha, m)
+		if err != nil {
+			return nil, err
+		}
+		res = next
+	}
+	return res, nil
+}

@@ -1,0 +1,86 @@
+package restream
+
+import (
+	"testing"
+
+	"hep/internal/gen"
+	"hep/internal/part"
+	"hep/internal/stream"
+)
+
+func TestRestreamAssignsEverything(t *testing.T) {
+	g := gen.BarabasiAlbert(1000, 5, 1)
+	for _, passes := range []int{1, 2, 4} {
+		r := &Restream{Passes: passes}
+		res, err := r.Partition(g, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.M != g.NumEdges() {
+			t.Fatalf("passes=%d: assigned %d of %d", passes, res.M, g.NumEdges())
+		}
+	}
+}
+
+func TestRestreamImprovesOverSinglePass(t *testing.T) {
+	g := gen.CommunityPowerLaw(4000, 40, 8, 0.2, 2)
+	k := 16
+	single, err := (&stream.HDRF{ExactDegrees: true}).Partition(g, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := (&Restream{Passes: 4}).Partition(g, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi.ReplicationFactor() >= single.ReplicationFactor() {
+		t.Errorf("restreaming RF %.3f not below single-pass %.3f",
+			multi.ReplicationFactor(), single.ReplicationFactor())
+	}
+}
+
+func TestRestreamSinkSeesFinalAssignmentExactlyOnce(t *testing.T) {
+	g := gen.BarabasiAlbert(400, 4, 3)
+	col := &part.Collect{}
+	r := &Restream{Passes: 3}
+	r.SetSink(col)
+	res, err := r.Partition(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(col.Edges)) != g.NumEdges() {
+		t.Fatalf("sink saw %d assignments, want %d", len(col.Edges), g.NumEdges())
+	}
+	counts := make([]int64, 4)
+	for _, te := range col.Edges {
+		counts[te.P]++
+	}
+	for p := range counts {
+		if counts[p] != res.Counts[p] {
+			t.Fatalf("partition %d: sink %d vs result %d", p, counts[p], res.Counts[p])
+		}
+	}
+}
+
+func TestRestreamSinglePassWithSink(t *testing.T) {
+	g := gen.BarabasiAlbert(200, 3, 4)
+	col := &part.Collect{}
+	r := &Restream{Passes: 1}
+	r.SetSink(col)
+	res, err := r.Partition(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(col.Edges)) != res.M {
+		t.Fatalf("sink saw %d, result %d", len(col.Edges), res.M)
+	}
+}
+
+func TestRestreamName(t *testing.T) {
+	if (&Restream{}).Name() != "ReHDRF-3" {
+		t.Fatal("default name")
+	}
+	if (&Restream{Passes: 5}).Name() != "ReHDRF-5" {
+		t.Fatal("passes name")
+	}
+}

@@ -1,0 +1,41 @@
+package stream
+
+import (
+	"hep/internal/graph"
+	"hep/internal/part"
+)
+
+// DBH is Degree-Based Hashing (Xie et al., NIPS 2014), a stateless
+// streaming partitioner: each edge is placed by hashing its lower-degree
+// endpoint, so high-degree vertices absorb the replication (paper §2,
+// "Graph Type"). Degrees are computed in a pre-pass, as in the paper's
+// re-implementation (Appendix A notes DBH has no public reference
+// implementation).
+type DBH struct {
+	part.SinkHolder
+}
+
+// Name implements part.Algorithm.
+func (d *DBH) Name() string { return "DBH" }
+
+// Partition implements part.Algorithm.
+func (d *DBH) Partition(src graph.EdgeStream, k int) (*part.Result, error) {
+	deg, _, err := graph.Degrees(src)
+	if err != nil {
+		return nil, err
+	}
+	res := part.NewResult(src.NumVertices(), k)
+	res.Sink = d.Sink
+	err = src.Edges(func(u, v graph.V) bool {
+		x := u
+		if deg[v] < deg[u] || (deg[v] == deg[u] && v < u) {
+			x = v
+		}
+		res.Assign(u, v, int(hash32(x)%uint32(k)))
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}

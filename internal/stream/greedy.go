@@ -1,0 +1,80 @@
+package stream
+
+import (
+	"hep/internal/graph"
+	"hep/internal/part"
+)
+
+// Greedy is the PowerGraph greedy vertex-cut heuristic (Gonzalez et al.,
+// OSDI 2012): prefer a partition already holding both endpoints, then one
+// holding either, then the least loaded overall — always breaking ties
+// toward the lower load.
+type Greedy struct {
+	part.SinkHolder
+
+	// Alpha is the balance bound α ≥ 1 (default 1.05).
+	Alpha float64
+}
+
+// Name implements part.Algorithm.
+func (g *Greedy) Name() string { return "Greedy" }
+
+// Partition implements part.Algorithm.
+func (g *Greedy) Partition(src graph.EdgeStream, k int) (*part.Result, error) {
+	alpha := g.Alpha
+	if alpha == 0 {
+		alpha = 1.05
+	}
+	res := part.NewResult(src.NumVertices(), k)
+	res.Sink = g.Sink
+	capacity := capFor(alpha, src.NumEdges(), k)
+	err := src.Edges(func(u, v graph.V) bool {
+		res.Assign(u, v, greedyChoice(res, u, v, capacity))
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func greedyChoice(res *part.Result, u, v graph.V, capacity int64) int {
+	bothBest, eitherBest, anyBest := -1, -1, -1
+	for p := 0; p < res.K; p++ {
+		load := res.Counts[p]
+		if anyBest < 0 || load < res.Counts[anyBest] {
+			anyBest = p
+		}
+		if load >= capacity {
+			continue
+		}
+		hu, hv := res.Replicas[p].Has(u), res.Replicas[p].Has(v)
+		if hu && hv {
+			if bothBest < 0 || load < res.Counts[bothBest] {
+				bothBest = p
+			}
+		}
+		if hu || hv {
+			if eitherBest < 0 || load < res.Counts[eitherBest] {
+				eitherBest = p
+			}
+		}
+	}
+	switch {
+	case bothBest >= 0:
+		return bothBest
+	case eitherBest >= 0:
+		return eitherBest
+	default:
+		// Least loaded; if even that is at capacity every partition is
+		// full, and the least loaded is still the right fallback.
+		least := 0
+		for p, c := range res.Counts {
+			if c < res.Counts[least] {
+				least = p
+			}
+		}
+		_ = anyBest
+		return least
+	}
+}

@@ -1,0 +1,161 @@
+// Package stream implements the streaming edge partitioners the paper
+// evaluates — HDRF, Greedy, DBH, Grid, ADWISE and Random — plus the
+// informed stateful streaming pass HEP runs over E_h2h (paper §3.3).
+//
+// All partitioners here look at one edge (or a small window) at a time and
+// keep only per-partition state: edge counts and vertex replica sets.
+package stream
+
+import (
+	"math"
+
+	"hep/internal/graph"
+	"hep/internal/part"
+)
+
+// hdrfEpsilon avoids division by zero in the balance term (Petroni et al.).
+const hdrfEpsilon = 1e-9
+
+// DefaultLambda is the HDRF balance weight recommended by the authors and
+// used in the paper's evaluation (Appendix A: λ = 1.1).
+const DefaultLambda = 1.1
+
+// hdrfScore computes the HDRF score of placing edge (u,v) on partition p.
+//
+//	θ(u) = d(u)/(d(u)+d(v))
+//	g(v,p) = 1 + (1 − θ(v))   if v is replicated on p, else 0
+//	C_REP  = g(u,p) + g(v,p)
+//	C_BAL  = λ · (maxLoad − load_p) / (ε + maxLoad − minLoad)
+func hdrfScore(res *part.Result, u, v graph.V, du, dv int32, p int, lambda float64, maxLoad, minLoad int64) float64 {
+	sum := float64(du) + float64(dv)
+	var rep float64
+	if res.Replicas[p].Has(u) {
+		thetaU := float64(du) / sum
+		rep += 1 + (1 - thetaU)
+	}
+	if res.Replicas[p].Has(v) {
+		thetaV := float64(dv) / sum
+		rep += 1 + (1 - thetaV)
+	}
+	bal := lambda * float64(maxLoad-res.Counts[p]) / (hdrfEpsilon + float64(maxLoad-minLoad))
+	return rep + bal
+}
+
+// loadBounds returns the current max and min partition loads.
+func loadBounds(counts []int64) (max, min int64) {
+	max, min = counts[0], counts[0]
+	for _, c := range counts[1:] {
+		if c > max {
+			max = c
+		}
+		if c < min {
+			min = c
+		}
+	}
+	return max, min
+}
+
+// capFor returns the per-partition capacity bound ⌈α·m/k⌉ used by the
+// balance constraint of §2. α must be ≥ 1 for the bound to be feasible.
+func capFor(alpha float64, m int64, k int) int64 {
+	if alpha < 1 {
+		alpha = 1
+	}
+	return int64(math.Ceil(alpha * float64(m) / float64(k)))
+}
+
+// bestHDRF returns the admissible partition with the highest HDRF score for
+// (u,v). Ties break toward the lower load, then the lower index, making
+// runs deterministic.
+func bestHDRF(res *part.Result, u, v graph.V, du, dv int32, lambda float64, capacity int64) int {
+	maxLoad, minLoad := loadBounds(res.Counts)
+	best, bestScore := -1, math.Inf(-1)
+	for p := 0; p < res.K; p++ {
+		if res.Counts[p] >= capacity {
+			continue
+		}
+		s := hdrfScore(res, u, v, du, dv, p, lambda, maxLoad, minLoad)
+		if s > bestScore || (s == bestScore && best >= 0 && res.Counts[p] < res.Counts[best]) {
+			best, bestScore = p, s
+		}
+	}
+	return best
+}
+
+// RunHDRF streams the edges of src into res using HDRF scoring with the
+// provided exact degree array. It is HEP's informed streaming phase: res
+// already carries the replica sets produced by NE++, so every placement
+// decision is informed by the in-memory phase (paper §3.3), overcoming the
+// "uninformed assignment problem". totalM is the number of edges of the
+// complete graph, which defines the balance capacity α·|E|/k.
+func RunHDRF(src graph.EdgeStream, res *part.Result, deg []int32, lambda, alpha float64, totalM int64) error {
+	capacity := capFor(alpha, totalM, res.K)
+	return src.Edges(func(u, v graph.V) bool {
+		p := bestHDRF(res, u, v, deg[u], deg[v], lambda, capacity)
+		if p < 0 {
+			// All partitions at capacity: place on the least loaded to
+			// preserve the exactly-once guarantee (only reachable when
+			// α·|E|/k rounds below the residual load).
+			p = argminLoad(res.Counts)
+		}
+		res.Assign(u, v, p)
+		return true
+	})
+}
+
+// RunHDRFWithState streams src into res scoring replica affinity against a
+// *frozen* prior result (re-streaming: later passes re-place every edge
+// with full knowledge of the previous pass). Loads and capacity come from
+// the result being built; replica affinity comes from state.
+func RunHDRFWithState(src graph.EdgeStream, res, state *part.Result, deg []int32, lambda, alpha float64, totalM int64) error {
+	capacity := capFor(alpha, totalM, res.K)
+	return src.Edges(func(u, v graph.V) bool {
+		maxLoad, minLoad := loadBounds(res.Counts)
+		best, bestScore := -1, math.Inf(-1)
+		for p := 0; p < res.K; p++ {
+			if res.Counts[p] >= capacity {
+				continue
+			}
+			// Replica term against the frozen state; balance term against
+			// the in-progress loads.
+			sum := float64(deg[u]) + float64(deg[v])
+			var rep float64
+			if state.Replicas[p].Has(u) {
+				rep += 1 + (1 - float64(deg[u])/sum)
+			}
+			if state.Replicas[p].Has(v) {
+				rep += 1 + (1 - float64(deg[v])/sum)
+			}
+			bal := lambda * float64(maxLoad-res.Counts[p]) / (hdrfEpsilon + float64(maxLoad-minLoad))
+			if s := rep + bal; s > bestScore || (s == bestScore && best >= 0 && res.Counts[p] < res.Counts[best]) {
+				best, bestScore = p, s
+			}
+		}
+		if best < 0 {
+			best = argminLoad(res.Counts)
+		}
+		res.Assign(u, v, best)
+		return true
+	})
+}
+
+func argminLoad(counts []int64) int {
+	best := 0
+	for p, c := range counts {
+		if c < counts[best] {
+			best = p
+		}
+	}
+	return best
+}
+
+// hash32 is a deterministic avalanche hash (Murmur3 finalizer) used by the
+// hashing partitioners (DBH, Grid, Random).
+func hash32(x uint32) uint32 {
+	x ^= x >> 16
+	x *= 0x85ebca6b
+	x ^= x >> 13
+	x *= 0xc2b2ae35
+	x ^= x >> 16
+	return x
+}

@@ -1,0 +1,226 @@
+package stream
+
+import (
+	"testing"
+
+	"hep/internal/gen"
+	"hep/internal/graph"
+	"hep/internal/part"
+)
+
+func TestHDRFPrefersReplicaOverlap(t *testing.T) {
+	// Two partitions; vertex 0 replicated on p1 only. The next edge
+	// (0,9) must land on p1 (replication term dominates at equal loads).
+	res := part.NewResult(10, 2)
+	res.Assign(0, 1, 1)
+	res.Assign(2, 3, 0) // equalize loads
+	deg := []int32{5, 1, 1, 1, 0, 0, 0, 0, 0, 5}
+	p := bestHDRF(res, 0, 9, deg[0], deg[9], DefaultLambda, 1<<30)
+	if p != 1 {
+		t.Fatalf("HDRF chose %d, want 1", p)
+	}
+}
+
+func TestHDRFBalanceTermBreaksTies(t *testing.T) {
+	// No replicas anywhere: balance term must pick the emptier partition.
+	res := part.NewResult(4, 2)
+	res.Counts[0] = 100
+	res.M = 100
+	p := bestHDRF(res, 0, 1, 1, 1, DefaultLambda, 1<<30)
+	if p != 1 {
+		t.Fatalf("HDRF chose loaded partition %d", p)
+	}
+}
+
+func TestHDRFRespectsCapacity(t *testing.T) {
+	res := part.NewResult(4, 2)
+	// p0 full at capacity 1; overlap pulls toward p0 but capacity forbids.
+	res.Assign(0, 1, 0)
+	p := bestHDRF(res, 0, 2, 3, 1, DefaultLambda, 1)
+	if p != 1 {
+		t.Fatalf("capacity violated: chose %d", p)
+	}
+}
+
+func TestHDRFHighDegreeReplicatedFirst(t *testing.T) {
+	// The HDRF property the name stands for: when an edge's endpoints are
+	// replicated on different partitions, prefer the side of the
+	// LOWER-degree vertex, replicating the high-degree one.
+	res := part.NewResult(10, 2)
+	res.Assign(0, 1, 0) // vertex 0 (high degree) replicated on p0
+	res.Assign(2, 3, 1) // vertex 2 (low degree) replicated on p1
+	deg := []int32{100, 1, 2, 1}
+	// Edge (0,2): g(0,p0) = 1+(1-θ0) with θ0=100/102 ≈ small reward;
+	// g(2,p1) = 1+(1-θ2) with θ2=2/102 ≈ big reward → p1 wins.
+	p := bestHDRF(res, 0, 2, deg[0], deg[2], 0 /* no balance term */, 1<<30)
+	if p != 1 {
+		t.Fatalf("HDRF did not keep the low-degree vertex local: chose %d", p)
+	}
+}
+
+func TestRunHDRFUsesInformedState(t *testing.T) {
+	// Pre-populate replicas as if an in-memory phase placed vertices
+	// 0..49 on p0 and 50..99 on p1; informed streaming of edges inside
+	// each group must follow the state.
+	res := part.NewResult(100, 2)
+	for v := uint32(0); v < 50; v++ {
+		res.Replicas[0].Set(v)
+	}
+	for v := uint32(50); v < 100; v++ {
+		res.Replicas[1].Set(v)
+	}
+	deg := make([]int32, 100)
+	for i := range deg {
+		deg[i] = 2
+	}
+	edges := []graph.Edge{{U: 1, V: 2}, {U: 60, V: 61}, {U: 10, V: 20}, {U: 70, V: 80}}
+	err := RunHDRF(graph.NewMemGraph(100, edges), res, deg, DefaultLambda, 1.5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts[0] != 2 || res.Counts[1] != 2 {
+		t.Fatalf("informed streaming ignored state: counts %v", res.Counts)
+	}
+}
+
+func TestDBHPlacesByLowerDegreeEndpoint(t *testing.T) {
+	// Star: center 0 has max degree; every edge must hash on the leaf, so
+	// edges spread across partitions (center replicated, leaves not).
+	g := gen.Star(1000)
+	res, err := (&DBH{}).Partition(g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonEmpty := 0
+	for _, c := range res.Counts {
+		if c > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty != 8 {
+		t.Fatalf("DBH used %d of 8 partitions on a star", nonEmpty)
+	}
+	// Leaves must not be replicated (each leaf has one edge).
+	reps := res.ReplicaCounts()
+	for v := 1; v < 1000; v++ {
+		if reps[v] != 1 {
+			t.Fatalf("leaf %d replicated %d times", v, reps[v])
+		}
+	}
+	if reps[0] != 8 {
+		t.Fatalf("center replicated %d times, want 8", reps[0])
+	}
+}
+
+func TestGridShape(t *testing.T) {
+	cases := map[int][2]int{
+		16: {4, 4}, 32: {4, 8}, 12: {3, 4}, 7: {1, 7}, 1: {1, 1}, 36: {6, 6},
+	}
+	for k, want := range cases {
+		r, c := gridShape(k)
+		if r != want[0] || c != want[1] {
+			t.Errorf("gridShape(%d) = (%d,%d), want %v", k, r, c, want)
+		}
+		if r*c != k {
+			t.Errorf("gridShape(%d) does not factor k", k)
+		}
+	}
+}
+
+func TestGridBoundsCandidates(t *testing.T) {
+	// Grid's point: each vertex's replicas stay within its row+column
+	// candidate set, so RF is bounded by r+c-1.
+	g := gen.BarabasiAlbert(2000, 6, 3)
+	k := 16 // 4×4
+	res, err := (&Grid{}).Partition(g, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxRep := int32(0)
+	for _, r := range res.ReplicaCounts() {
+		if r > maxRep {
+			maxRep = r
+		}
+	}
+	if maxRep > 7 { // 4+4-1
+		t.Fatalf("grid replica count %d exceeds row+col bound 7", maxRep)
+	}
+}
+
+func TestGreedyCasePriorities(t *testing.T) {
+	res := part.NewResult(10, 3)
+	res.Assign(0, 1, 0) // both 0,1 on p0
+	res.Assign(2, 3, 1) // 2 on p1
+	capacity := int64(100)
+	// Both endpoints on p0 → p0.
+	if p := greedyChoice(res, 0, 1, capacity); p != 0 {
+		t.Fatalf("both-case chose %d", p)
+	}
+	// One endpoint on p1 → p1 (p2 empty but 'either' beats 'least loaded').
+	if p := greedyChoice(res, 2, 9, capacity); p != 1 {
+		t.Fatalf("either-case chose %d", p)
+	}
+	// Fresh vertices → least loaded (p2).
+	if p := greedyChoice(res, 8, 9, capacity); p != 2 {
+		t.Fatalf("fresh-case chose %d", p)
+	}
+}
+
+func TestADWISEWindowDrains(t *testing.T) {
+	g := gen.BarabasiAlbert(300, 3, 4)
+	for _, window := range []int{1, 8, 1024} { // incl. window > |E| remainder behavior
+		a := &ADWISE{Window: window}
+		res, err := a.Partition(g, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.M != g.NumEdges() {
+			t.Fatalf("window=%d: assigned %d of %d", window, res.M, g.NumEdges())
+		}
+	}
+}
+
+func TestADWISEQualityAtLeastHDRF(t *testing.T) {
+	// A window of candidates can only help versus committing immediately;
+	// allow a small tolerance for heuristic noise.
+	g := gen.CommunityPowerLaw(3000, 30, 6, 0.2, 5)
+	hdrf, err := (&HDRF{}).Partition(g, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adwise, err := (&ADWISE{Window: 64}).Partition(g, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adwise.ReplicationFactor() > hdrf.ReplicationFactor()*1.1 {
+		t.Errorf("ADWISE RF %.3f much worse than HDRF %.3f",
+			adwise.ReplicationFactor(), hdrf.ReplicationFactor())
+	}
+}
+
+func TestRandomRespectsCapacity(t *testing.T) {
+	g := gen.BarabasiAlbert(500, 4, 6)
+	res, err := (&Random{Seed: 3, Alpha: 1.0}).Partition(g, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := (g.NumEdges()+6)/7 + 1
+	for p, c := range res.Counts {
+		if c > bound {
+			t.Fatalf("partition %d has %d > bound %d", p, c, bound)
+		}
+	}
+}
+
+func TestHash32Avalanche(t *testing.T) {
+	// Adjacent inputs must map to well-spread outputs.
+	buckets := map[uint32]int{}
+	for i := uint32(0); i < 1000; i++ {
+		buckets[hash32(i)%10]++
+	}
+	for b, c := range buckets {
+		if c < 50 || c > 200 {
+			t.Fatalf("bucket %d holds %d of 1000", b, c)
+		}
+	}
+}

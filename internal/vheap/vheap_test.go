@@ -1,0 +1,153 @@
+package vheap
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestPushPopSorted(t *testing.T) {
+	h := New(10)
+	keys := []int32{5, 3, 8, 1, 9, 2}
+	for i, k := range keys {
+		h.Push(uint32(i), k)
+	}
+	var got []int32
+	for h.Len() > 0 {
+		_, k := h.PopMin()
+		got = append(got, k)
+	}
+	if !sort.SliceIsSorted(got, func(a, b int) bool { return got[a] < got[b] }) {
+		t.Fatalf("pop order not sorted: %v", got)
+	}
+}
+
+func TestUpdateMovesBothWays(t *testing.T) {
+	h := New(5)
+	h.Push(0, 10)
+	h.Push(1, 20)
+	h.Push(2, 30)
+	h.Update(2, 5) // decrease-key
+	if v, k := h.Min(); v != 2 || k != 5 {
+		t.Fatalf("min after decrease = (%d,%d)", v, k)
+	}
+	h.Update(2, 50) // increase-key
+	if v, _ := h.Min(); v != 0 {
+		t.Fatalf("min after increase = %d", v)
+	}
+}
+
+func TestAddAndKey(t *testing.T) {
+	h := New(3)
+	h.Push(1, 7)
+	h.Add(1, -3)
+	if k := h.Key(1); k != 4 {
+		t.Fatalf("key = %d, want 4", k)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	h := New(5)
+	for i := uint32(0); i < 5; i++ {
+		h.Push(i, int32(5-i))
+	}
+	if !h.Remove(4) { // the minimum
+		t.Fatal("remove failed")
+	}
+	if h.Remove(4) {
+		t.Fatal("double remove succeeded")
+	}
+	if h.Contains(4) {
+		t.Fatal("removed vertex still contained")
+	}
+	if v, k := h.Min(); v != 3 || k != 2 {
+		t.Fatalf("min = (%d,%d), want (3,2)", v, k)
+	}
+	if h.Len() != 4 {
+		t.Fatalf("len = %d", h.Len())
+	}
+}
+
+func TestReset(t *testing.T) {
+	h := New(8)
+	for i := uint32(0); i < 8; i++ {
+		h.Push(i, int32(i))
+	}
+	h.Reset()
+	if h.Len() != 0 {
+		t.Fatal("len after reset")
+	}
+	for i := uint32(0); i < 8; i++ {
+		if h.Contains(i) {
+			t.Fatalf("vertex %d still contained after reset", i)
+		}
+	}
+	h.Push(3, 1) // reusable after reset
+	if v, _ := h.Min(); v != 3 {
+		t.Fatal("heap unusable after reset")
+	}
+}
+
+// TestQuickHeapProperty drives random operation sequences and verifies the
+// heap always pops the global minimum, comparing against a model slice.
+func TestQuickHeapProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		const n = 200
+		rng := rand.New(rand.NewSource(seed))
+		h := New(n)
+		model := map[uint32]int32{}
+		for op := 0; op < 500; op++ {
+			switch rng.Intn(4) {
+			case 0: // push
+				v := uint32(rng.Intn(n))
+				if _, ok := model[v]; !ok {
+					k := int32(rng.Intn(100))
+					h.Push(v, k)
+					model[v] = k
+				}
+			case 1: // pop min
+				if len(model) > 0 {
+					v, k := h.PopMin()
+					if model[v] != k {
+						return false
+					}
+					for _, mk := range model {
+						if mk < k {
+							return false
+						}
+					}
+					delete(model, v)
+				}
+			case 2: // update
+				for v := range model {
+					k := int32(rng.Intn(100))
+					h.Update(v, k)
+					model[v] = k
+					break
+				}
+			case 3: // remove
+				for v := range model {
+					h.Remove(v)
+					delete(model, v)
+					break
+				}
+			}
+			if h.Len() != len(model) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBytesPositive(t *testing.T) {
+	h := New(100)
+	h.Push(1, 1)
+	if h.Bytes() <= 0 {
+		t.Fatal("Bytes() not positive")
+	}
+}
