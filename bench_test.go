@@ -17,6 +17,7 @@ import (
 	"hep/internal/gen"
 	"hep/internal/memmodel"
 	"hep/internal/ne"
+	"hep/internal/ooc"
 	"hep/internal/stream"
 )
 
@@ -231,6 +232,42 @@ func BenchmarkAblationHDRFDegrees(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkBufferedVsHDRF compares the out-of-core buffered partitioner
+// against plain HDRF on the OK and TW power-law stand-ins at k=32,
+// reporting replication factor alongside throughput (the buffered
+// partitioner trades a second pass and batch bookkeeping for RF).
+func BenchmarkBufferedVsHDRF(b *testing.B) {
+	for _, name := range []string{"OK", "TW"} {
+		g := gen.MustDataset(name).Build(benchScale)
+		buffer := int(g.NumEdges() / 4)
+		b.Run(name+"/buffered", func(b *testing.B) {
+			b.SetBytes(g.NumEdges() * 8)
+			var rf float64
+			for i := 0; i < b.N; i++ {
+				a := &ooc.Buffered{BufferEdges: buffer}
+				res, err := a.Partition(g, 32)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rf = res.ReplicationFactor()
+			}
+			b.ReportMetric(rf, "rf")
+		})
+		b.Run(name+"/hdrf", func(b *testing.B) {
+			b.SetBytes(g.NumEdges() * 8)
+			var rf float64
+			for i := 0; i < b.N; i++ {
+				res, err := (&stream.HDRF{}).Partition(g, 32)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rf = res.ReplicationFactor()
+			}
+			b.ReportMetric(rf, "rf")
+		})
+	}
 }
 
 // BenchmarkCSRBuild isolates graph-building cost (§4.1: two passes,

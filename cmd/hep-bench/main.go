@@ -20,7 +20,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig2|fig5|fig7|fig8|fig9|table2|table3|table4|table5|table6|all")
+		exp      = flag.String("exp", "all", "experiment: fig2|fig5|fig7|fig8|fig9|table2|table3|table4|table5|table6|ooc|all")
 		scale    = flag.Float64("scale", 0.25, "dataset scale factor")
 		datasets = flag.String("datasets", "", "comma-separated dataset names (default per experiment)")
 		ks       = flag.String("k", "", "comma-separated partition counts (default per experiment)")
@@ -54,8 +54,9 @@ func main() {
 		"table4": func(c expt.Config) error { _, err := expt.Table4(c); return err },
 		"table5": func(c expt.Config) error { _, err := expt.Table5(c); return err },
 		"table6": func(c expt.Config) error { _, err := expt.Table6(c); return err },
+		"ooc":    func(c expt.Config) error { _, err := expt.TableBuffered(c); return err },
 	}
-	order := []string{"table3", "fig2", "fig5", "fig7", "fig8", "fig9", "table2", "table4", "table5", "table6"}
+	order := []string{"table3", "fig2", "fig5", "fig7", "fig8", "fig9", "table2", "table4", "table5", "table6", "ooc"}
 
 	if *exp == "all" {
 		for _, name := range order {

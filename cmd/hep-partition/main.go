@@ -1,10 +1,16 @@
 // Command hep-partition partitions a binary edge list with any of the
 // implemented algorithms and reports replication factor, balance, vertex
-// balance, run-time and memory. Optionally writes "u v partition" lines.
+// balance, run-time and memory. The input is streamed through the
+// out-of-core engine's chunked reader, so graphs larger than RAM work with
+// -algo buffered (optionally sized by -budget). Optionally writes
+// "u v partition" lines.
 //
 // Usage:
 //
 //	hep-partition -in graph.bin -k 32 -algo hep -tau 10
+//	hep-partition -in graph.bin -k 32 -algo hep -budget 2147483648
+//	hep-partition -in graph.bin -k 32 -algo buffered -buffer 1048576
+//	hep-partition -in graph.bin -k 32 -algo buffered -budget 536870912
 //	hep-partition -in graph.bin -k 128 -algo hdrf -assign out.txt
 package main
 
@@ -30,7 +36,9 @@ func main() {
 		lambda = flag.Float64("lambda", 0, "HDRF λ (0 = default 1.1)")
 		seed   = flag.Int64("seed", 42, "seed for randomized algorithms")
 		assign = flag.String("assign", "", "write 'u v partition' lines to this file")
-		budget = flag.Int64("membudget", 0, "if > 0, pick τ automatically to fit this many bytes (§4.4)")
+		buffer = flag.Int("buffer", 0, "buffered algorithm: edges per batch (0 = default or derived from -budget)")
+		budget = flag.Int64("budget", 0, "if > 0, fit the partitioner to this many bytes: "+
+			"picks τ for -algo hep (§4.4), sizes the edge buffer for -algo buffered")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -39,24 +47,30 @@ func main() {
 		os.Exit(2)
 	}
 
-	src, err := hep.OpenBinaryFile(*in, 0)
-	fail(err)
-
 	cfg := hep.Config{
 		Algorithm: *algo, K: *k, Tau: *tau,
 		Alpha: *alpha, Lambda: *lambda, Seed: *seed,
+		Buffer: *buffer, MemBudget: *budget,
 	}
 
+	discoverN := 0
+	if *algo == hep.AlgoBuffered {
+		discoverN = -1 // buffered discovers ids in its degree pass
+	}
+	src, err := hep.OpenChunked(*in, discoverN, 0)
+	fail(err)
+
+	// Resolve the budget up front so the chosen knob is visible (and
+	// reproducible without -budget in later runs).
 	if *budget > 0 {
-		cands := []float64{100, 50, 20, 10, 5, 2, 1}
-		chosen, ok, err := hep.ChooseTau(src, *k, cands, *budget)
+		cfg, err = hep.FitBudget(src, cfg)
 		fail(err)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "hep-partition: no candidate τ fits %d bytes; smallest footprint exceeds the budget\n", *budget)
-			os.Exit(1)
+		switch *algo {
+		case hep.AlgoBuffered:
+			fmt.Printf("budget %d bytes → buffer=%d edges\n", *budget, cfg.Buffer)
+		default:
+			fmt.Printf("budget %d bytes → τ=%g\n", *budget, cfg.Tau)
 		}
-		fmt.Printf("membudget %d bytes → τ=%g\n", *budget, chosen)
-		cfg.Tau = chosen
 	}
 
 	var w *bufio.Writer
@@ -72,12 +86,12 @@ func main() {
 	}
 
 	start := time.Now()
-	res, err := hep.Partition(src, cfg)
+	res, err := hep.PartitionStream(src, cfg)
 	fail(err)
 	elapsed := time.Since(start)
 
 	s := hep.Summarize(*algo, res)
-	fmt.Printf("graph:               %s (%d vertices, %d edges)\n", *in, src.NumVertices(), src.NumEdges())
+	fmt.Printf("graph:               %s (%d vertices, %d edges)\n", *in, res.N, res.M)
 	fmt.Printf("algorithm:           %s (k=%d)\n", s.Algorithm, s.K)
 	fmt.Printf("replication factor:  %.4f\n", s.ReplicationFactor)
 	fmt.Printf("balance α:           %.4f (max %d / min %d edges)\n", s.Balance, s.MaxLoad, s.MinLoad)

@@ -1,0 +1,3 @@
+module hep
+
+go 1.24

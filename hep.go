@@ -23,6 +23,19 @@
 // (NE, SNE, DNE, METIS-style multilevel, HDRF, DBH, Greedy, Grid, ADWISE,
 // Random), and internal/expt regenerates every table and figure of the
 // paper's evaluation.
+//
+// For graphs larger than RAM, AlgoBuffered runs the out-of-core engine
+// (internal/ooc): a chunked, prefetching stream over the binary edge file
+// feeds a bounded B-edge buffer that is partitioned batch-wise by
+// neighborhood expansion seeded with the global replica state, with an
+// informed HDRF fallback — resident memory is O(|V|) vertex state plus the
+// configured buffer, never the edge list. PartitionFile composes the whole
+// recipe (open, discover, pick τ or buffer from Config.MemBudget, spill
+// E_h2h to a compressed run file, partition) in one call:
+//
+//	res, err := hep.PartitionFile("graph.bin", hep.Config{
+//		Algorithm: hep.AlgoBuffered, K: 32, MemBudget: 512 << 20,
+//	})
 package hep
 
 import (
@@ -39,6 +52,7 @@ import (
 	"hep/internal/metrics"
 	"hep/internal/mlp"
 	"hep/internal/ne"
+	"hep/internal/ooc"
 	"hep/internal/part"
 	"hep/internal/restream"
 	"hep/internal/stream"
@@ -80,6 +94,7 @@ const (
 	AlgoRandom       = "random"
 	AlgoSimpleHybrid = "simple-hybrid"
 	AlgoRestream     = "rehdrf"
+	AlgoBuffered     = "buffered" // out-of-core buffered streaming (internal/ooc)
 )
 
 // Config selects and parameterizes a partitioner.
@@ -103,6 +118,13 @@ type Config struct {
 	Window int
 	// Passes is the number of re-streaming passes for AlgoRestream.
 	Passes int
+	// Buffer is AlgoBuffered's batch size in edges (0 = the ooc default;
+	// PartitionFile derives it from MemBudget when that is set).
+	Buffer int
+	// MemBudget, if > 0, makes PartitionFile bound resident memory: it
+	// picks the largest τ whose §4.2 footprint fits (AlgoHEP) or sizes the
+	// edge buffer to fit (AlgoBuffered).
+	MemBudget int64
 	// Sink, if set, receives every edge assignment.
 	Sink Sink
 }
@@ -147,17 +169,29 @@ func New(cfg Config) (Algorithm, error) {
 		a = &hybrid.Simple{Tau: tau, Seed: cfg.Seed}
 	case AlgoRestream:
 		a = &restream.Restream{Passes: cfg.Passes, Lambda: cfg.Lambda, Alpha: cfg.Alpha}
+	case AlgoBuffered:
+		a = &ooc.Buffered{BufferEdges: cfg.Buffer, Lambda: cfg.Lambda, Alpha: cfg.Alpha}
 	default:
 		return nil, fmt.Errorf("hep: unknown algorithm %q", name)
 	}
 	if cfg.Sink != nil {
-		a.(part.SinkSetter).SetSink(cfg.Sink)
+		ss, ok := a.(part.SinkSetter)
+		if !ok {
+			return nil, fmt.Errorf("hep: algorithm %q does not accept an assignment sink", name)
+		}
+		ss.SetSink(cfg.Sink)
 	}
 	return a, nil
 }
 
-// Partition runs the configured partitioner over src.
+// Partition runs the configured partitioner over src. A non-zero
+// Config.MemBudget routes through PartitionStream — the §4.2 footprint
+// model behind the budget assumes E_h2h is spilled to disk, so a budgeted
+// HEP run must get the on-disk spill store, never the in-memory default.
 func Partition(src EdgeStream, cfg Config) (*Result, error) {
+	if cfg.MemBudget > 0 {
+		return PartitionStream(src, cfg)
+	}
 	if cfg.K < 1 {
 		return nil, fmt.Errorf("hep: K must be ≥ 1, got %d", cfg.K)
 	}
@@ -173,7 +207,7 @@ func Algorithms() []string {
 	return []string{
 		AlgoHEP, AlgoNEPP, AlgoNE, AlgoSNE, AlgoDNE, AlgoMETIS,
 		AlgoHDRF, AlgoDBH, AlgoGreedy, AlgoGrid, AlgoADWISE, AlgoRandom,
-		AlgoSimpleHybrid, AlgoRestream,
+		AlgoSimpleHybrid, AlgoRestream, AlgoBuffered,
 	}
 }
 
@@ -208,6 +242,119 @@ func WriteBinaryFile(path string, edges []Edge) error {
 // without loading it into memory (n may be 0 to discover the vertex count).
 func OpenBinaryFile(path string, n int) (EdgeStream, error) {
 	return edgeio.OpenFile(path, n)
+}
+
+// OpenChunked opens a binary edge list as a chunked, prefetching EdgeStream
+// (the out-of-core engine's reader): a concurrent read-ahead goroutine keeps
+// one chunk in flight while the previous one is decoded. n may be 0 to
+// discover the vertex count (or < 0 to skip discovery); chunkEdges 0
+// selects the default chunk size.
+func OpenChunked(path string, n, chunkEdges int) (EdgeStream, error) {
+	return ooc.Open(path, n, chunkEdges)
+}
+
+// tauCandidates is the §4.4 sweep PartitionFile and cmd/hep-partition use
+// when picking τ under a memory budget.
+var tauCandidates = []float64{100, 50, 20, 10, 5, 2, 1}
+
+// FitBudget resolves Config.MemBudget into concrete partitioner knobs and
+// returns the resolved Config (with MemBudget cleared): AlgoHEP gets the
+// largest candidate τ whose §4.2 footprint fits (overriding any explicit
+// Tau — the budget is the contract); AlgoBuffered gets its buffer sized so
+// batch-local state fits, clamping an explicit Buffer that would exceed the
+// budget. Any other algorithm is rejected, because a budget would be
+// silently ignored. A zero MemBudget returns cfg unchanged.
+func FitBudget(src EdgeStream, cfg Config) (Config, error) {
+	if cfg.MemBudget <= 0 {
+		return cfg, nil
+	}
+	name := cfg.Algorithm
+	if name == "" {
+		name = AlgoHEP
+	}
+	switch name {
+	case AlgoHEP:
+		tau, ok, err := ChooseTau(src, cfg.K, tauCandidates, cfg.MemBudget)
+		if err != nil {
+			return cfg, err
+		}
+		if !ok {
+			return cfg, fmt.Errorf("hep: no candidate τ fits %d bytes; use AlgoBuffered for tighter budgets", cfg.MemBudget)
+		}
+		cfg.Tau = tau
+	case AlgoBuffered:
+		fit := ooc.BufferForBudget(cfg.MemBudget)
+		if fit < 1 {
+			return cfg, fmt.Errorf("hep: budget %d bytes below one buffered edge (%d bytes)", cfg.MemBudget, ooc.BytesPerBufferedEdge)
+		}
+		if cfg.Buffer == 0 || cfg.Buffer > fit {
+			cfg.Buffer = fit
+		}
+	default:
+		return cfg, fmt.Errorf("hep: MemBudget is only supported with %s or %s, not %q", AlgoHEP, AlgoBuffered, name)
+	}
+	cfg.MemBudget = 0
+	return cfg, nil
+}
+
+// PartitionFile partitions an on-disk binary edge list without ever
+// materializing it: the file is opened as a chunked prefetching stream and
+// fed to the configured partitioner. When Config.MemBudget is set, the
+// partitioner is fit to the budget first — AlgoHEP picks the largest τ whose
+// §4.2 footprint fits (ChooseTau) and spills E_h2h to a compressed on-disk
+// run instead of RAM; AlgoBuffered sizes its edge buffer so batch-local
+// state fits; any other algorithm is rejected (a budget would be silently
+// ignored). This is the paper's §4.4 recipe composed with the out-of-core
+// engine in a single call.
+func PartitionFile(path string, cfg Config) (*Result, error) {
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("hep: K must be ≥ 1, got %d", cfg.K)
+	}
+	name := cfg.Algorithm
+	if name == "" {
+		name = AlgoHEP
+	}
+	// Buffered discovers vertex ids during its degree pass; only the other
+	// algorithms need the up-front discovery scan for the vertex count.
+	discoverN := 0
+	if name == AlgoBuffered {
+		discoverN = -1
+	}
+	src, err := ooc.Open(path, discoverN, 0)
+	if err != nil {
+		return nil, err
+	}
+	return PartitionStream(src, cfg)
+}
+
+// PartitionStream is PartitionFile over an already-open stream: it resolves
+// Config.MemBudget (FitBudget — a no-op if the caller already resolved it),
+// sends HEP's E_h2h spill to a compressed on-disk run so the streaming
+// phase's input stays out of the resident set, and partitions. Callers that
+// need the resolved knobs (the chosen τ, the sized buffer) call FitBudget
+// themselves and pass the resolved Config here without paying a second
+// discovery pass.
+func PartitionStream(src EdgeStream, cfg Config) (*Result, error) {
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("hep: K must be ≥ 1, got %d", cfg.K)
+	}
+	cfg, err := FitBudget(src, cfg)
+	if err != nil {
+		return nil, err
+	}
+	a, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if h, ok := a.(*core.HEP); ok {
+		store, err := ooc.NewVarintH2H("")
+		if err != nil {
+			return nil, err
+		}
+		defer store.Close()
+		h.H2HStore = store
+	}
+	return a.Partition(src, cfg.K)
 }
 
 // Summarize computes the standard quality metrics of a result.

@@ -134,3 +134,130 @@ func TestDatasetNames(t *testing.T) {
 		t.Fatalf("datasets = %v", names)
 	}
 }
+
+func TestSinkThroughConfigBuffered(t *testing.T) {
+	g := Dataset("LJ", 0.03)
+	var count int64
+	sink := sinkFunc(func(u, v uint32, p int) { count++ })
+	res, err := Partition(g, Config{Algorithm: AlgoBuffered, K: 4, Buffer: 1024, Sink: sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != res.M {
+		t.Fatalf("sink saw %d assignments, result has %d", count, res.M)
+	}
+}
+
+func TestPartitionFile(t *testing.T) {
+	g := Dataset("OK", 0.1)
+	path := filepath.Join(t.TempDir(), "g.bin")
+	if err := WriteBinaryFile(path, g.E); err != nil {
+		t.Fatal(err)
+	}
+
+	// Default algorithm (HEP) with a generous budget: τ is chosen, E_h2h
+	// spills to the compressed run store, every edge is assigned.
+	res, err := PartitionFile(path, Config{K: 8, MemBudget: 1 << 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.M != g.NumEdges() || res.N != g.NumVertices() {
+		t.Fatalf("n=%d m=%d, want n=%d m=%d", res.N, res.M, g.NumVertices(), g.NumEdges())
+	}
+
+	// Out-of-core algorithm with a buffer budget.
+	res, err = PartitionFile(path, Config{Algorithm: AlgoBuffered, K: 8, MemBudget: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.M != g.NumEdges() {
+		t.Fatalf("buffered assigned %d of %d edges", res.M, g.NumEdges())
+	}
+	if err := res.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Errors: bad k, impossible budgets, budget on an algorithm that would
+	// silently ignore it, missing file.
+	if _, err := PartitionFile(path, Config{K: 0}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := PartitionFile(path, Config{Algorithm: AlgoHDRF, K: 4, MemBudget: 1 << 30}); err == nil {
+		t.Fatal("budget on a budget-less algorithm accepted")
+	}
+	if _, err := PartitionFile(path, Config{Algorithm: AlgoBuffered, K: 4, MemBudget: 10}); err == nil {
+		t.Fatal("sub-edge buffer budget accepted")
+	}
+	if _, err := PartitionFile(filepath.Join(t.TempDir(), "missing.bin"), Config{K: 4}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestFitBudget(t *testing.T) {
+	g := Dataset("OK", 0.05)
+
+	// HEP: the largest fitting τ wins, overriding an explicit Tau.
+	cfg, err := FitBudget(g, Config{Algorithm: AlgoHEP, K: 32, Tau: 1, MemBudget: 1 << 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Tau != 100 || cfg.MemBudget != 0 {
+		t.Fatalf("resolved cfg: tau=%v budget=%d", cfg.Tau, cfg.MemBudget)
+	}
+
+	// Buffered: an explicit Buffer larger than the budget allows is
+	// clamped — the budget is the contract.
+	cfg, err = FitBudget(g, Config{Algorithm: AlgoBuffered, K: 32, Buffer: 1 << 30, MemBudget: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 1 << 20 / 112; cfg.Buffer > want {
+		t.Fatalf("buffer %d not clamped to budget (≤ %d)", cfg.Buffer, want)
+	}
+	// A smaller explicit Buffer already fits and is kept.
+	cfg, err = FitBudget(g, Config{Algorithm: AlgoBuffered, K: 32, Buffer: 10, MemBudget: 1 << 20})
+	if err != nil || cfg.Buffer != 10 {
+		t.Fatalf("small explicit buffer not kept: %d (%v)", cfg.Buffer, err)
+	}
+
+	// Algorithms that would silently ignore the budget are rejected.
+	if _, err := FitBudget(g, Config{Algorithm: AlgoDBH, K: 32, MemBudget: 1 << 20}); err == nil {
+		t.Fatal("budget accepted for a budget-less algorithm")
+	}
+	// Zero budget is a no-op.
+	cfg, err = FitBudget(g, Config{Algorithm: AlgoDBH, K: 32})
+	if err != nil || cfg.Algorithm != AlgoDBH {
+		t.Fatalf("zero budget not a no-op: %+v (%v)", cfg, err)
+	}
+
+	// Partition honors MemBudget too — never silently ignored.
+	if _, err := Partition(g, Config{Algorithm: AlgoHDRF, K: 4, MemBudget: 1 << 20}); err == nil {
+		t.Fatal("Partition accepted a budget for a budget-less algorithm")
+	}
+	res, err := Partition(g, Config{Algorithm: AlgoHEP, K: 8, MemBudget: 1 << 40})
+	if err != nil || res.M != g.NumEdges() {
+		t.Fatalf("budgeted Partition: %v", err)
+	}
+}
+
+func TestOpenChunkedFacade(t *testing.T) {
+	g := Dataset("LJ", 0.03)
+	path := filepath.Join(t.TempDir(), "g.bin")
+	if err := WriteBinaryFile(path, g.E); err != nil {
+		t.Fatal(err)
+	}
+	src, err := OpenChunked(path, 0, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.NumVertices() != g.NumVertices() || src.NumEdges() != g.NumEdges() {
+		t.Fatalf("n=%d m=%d", src.NumVertices(), src.NumEdges())
+	}
+	res, err := Partition(src, Config{Algorithm: AlgoBuffered, K: 8, Buffer: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.M != g.NumEdges() {
+		t.Fatalf("assigned %d of %d edges", res.M, g.NumEdges())
+	}
+}

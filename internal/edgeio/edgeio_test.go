@@ -115,6 +115,64 @@ func TestFileStream(t *testing.T) {
 	}
 }
 
+// TestFileStreamExplicitN covers the write → open → re-iterate round trip
+// with a caller-provided vertex count (no discovery scan) and verifies the
+// stream stays restartable across interleaved early stops.
+func TestFileStreamExplicitN(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.bin")
+	g := gen.CommunityPowerLaw(500, 10, 6, 0.2, 9)
+	if err := WriteBinaryFile(path, g.E); err != nil {
+		t.Fatal(err)
+	}
+	f, err := OpenFile(path, 2*g.NumVertices())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumVertices() != 2*g.NumVertices() {
+		t.Fatalf("explicit n not honored: %d", f.NumVertices())
+	}
+	// Early stop, then two full passes: restartability must survive.
+	if err := f.Edges(func(u, v graph.V) bool { return false }); err != nil {
+		t.Fatal(err)
+	}
+	for pass := 0; pass < 2; pass++ {
+		var count int64
+		if err := f.Edges(func(u, v graph.V) bool { count++; return true }); err != nil {
+			t.Fatal(err)
+		}
+		if count != g.NumEdges() {
+			t.Fatalf("pass %d saw %d of %d edges", pass, count, g.NumEdges())
+		}
+	}
+}
+
+// TestFileStreamTruncatedAfterOpen pins the mid-stream truncation error
+// path: a file that shrinks to a non-multiple of 8 after OpenFile must
+// surface an error from Edges, not silently drop the partial record.
+func TestFileStreamTruncatedAfterOpen(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.bin")
+	g := gen.BarabasiAlbert(50, 2, 4)
+	if err := WriteBinaryFile(path, g.E); err != nil {
+		t.Fatal(err)
+	}
+	f, err := OpenFile(path, g.NumVertices())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeRaw(path, raw[:len(raw)-5]); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Edges(func(u, v graph.V) bool { return true }); err == nil {
+		t.Fatal("truncated mid-stream file accepted")
+	}
+}
+
 func TestOpenFileErrors(t *testing.T) {
 	if _, err := OpenFile("/nonexistent/x.bin", 0); err == nil {
 		t.Fatal("missing file accepted")

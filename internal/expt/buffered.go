@@ -1,0 +1,68 @@
+package expt
+
+import (
+	"hep/internal/core"
+	"hep/internal/ooc"
+	"hep/internal/part"
+	"hep/internal/stream"
+)
+
+// TableBufferedRow is one (algorithm, dataset) entry of the out-of-core
+// comparison: the buffered streaming partitioner against plain HDRF (its
+// uninformed per-edge counterpart) and in-memory HEP (the quality ceiling).
+type TableBufferedRow struct {
+	Algorithm  string
+	Dataset    string
+	Buffer     int64 // buffered edges per batch (0 where not applicable)
+	RF         float64
+	Balance    float64
+	Seconds    float64
+	PeakBufMiB float64 // tracked batch-local allocation (buffered only)
+}
+
+// TableBuffered runs the out-of-core comparison at k=32 (the evaluation
+// point of the buffered streaming literature): buffer a quarter of the edge
+// set, partition batch-wise, and compare replication factor against HDRF
+// and HEP-10. The expected shape is HEP ≤ Buffered < HDRF.
+func TableBuffered(cfg Config) ([]TableBufferedRow, error) {
+	k := cfg.ks(32)[0]
+	var rows []TableBufferedRow
+	for _, name := range cfg.datasets("OK", "TW", "LJ") {
+		g := cfg.build(name)
+		buffer := g.NumEdges() / 4
+		if buffer < 1 {
+			buffer = 1
+		}
+		buffered := &ooc.Buffered{BufferEdges: int(buffer)}
+		algos := []part.Algorithm{
+			&stream.HDRF{},
+			buffered,
+			&core.HEP{Tau: 10},
+		}
+		for _, a := range algos {
+			st, _, err := Measure(a, g, k)
+			if err != nil {
+				return nil, err
+			}
+			row := TableBufferedRow{
+				Algorithm: a.Name(),
+				Dataset:   name,
+				RF:        st.ReplicationFactor,
+				Balance:   st.Balance,
+				Seconds:   st.Seconds,
+			}
+			if a == buffered {
+				row.Buffer = buffer
+				row.PeakBufMiB = float64(buffered.LastStats.PeakBufferBytes) / (1 << 20)
+			}
+			rows = append(rows, row)
+		}
+	}
+	t := newTable(cfg.out(), "Out-of-core: buffered streaming vs HDRF vs HEP (k=32, buffer=|E|/4)")
+	t.row("algorithm", "graph", "buffer(edges)", "RF", "balance", "time(s)", "peak buf(MiB)")
+	for _, r := range rows {
+		t.row(r.Algorithm, r.Dataset, r.Buffer, r.RF, r.Balance, r.Seconds, r.PeakBufMiB)
+	}
+	t.flush()
+	return rows, nil
+}

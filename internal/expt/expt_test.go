@@ -158,6 +158,34 @@ func TestFigure9Runs(t *testing.T) {
 	}
 }
 
+func TestTableBufferedRuns(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := TableBuffered(Config{Scale: 0.2, Datasets: []string{"OK"}, Out: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byAlgo := map[string]TableBufferedRow{}
+	for _, r := range rows {
+		byAlgo[r.Algorithm] = r
+	}
+	// The out-of-core comparison's shape: HEP ≤ Buffered < HDRF on RF.
+	if byAlgo["Buffered"].RF >= byAlgo["HDRF"].RF {
+		t.Errorf("Buffered RF %.3f not below HDRF %.3f", byAlgo["Buffered"].RF, byAlgo["HDRF"].RF)
+	}
+	if byAlgo["HEP-10"].RF > byAlgo["Buffered"].RF {
+		t.Errorf("HEP-10 RF %.3f above Buffered %.3f", byAlgo["HEP-10"].RF, byAlgo["Buffered"].RF)
+	}
+	if byAlgo["Buffered"].PeakBufMiB <= 0 {
+		t.Error("buffered row missing peak buffer bytes")
+	}
+	if !strings.Contains(buf.String(), "Out-of-core") {
+		t.Error("table title missing")
+	}
+}
+
 func TestTable2Runs(t *testing.T) {
 	rows, err := Table2(Config{Scale: 0.08, Datasets: []string{"OK", "IT"}})
 	if err != nil {

@@ -1,0 +1,136 @@
+package ooc
+
+import (
+	"testing"
+
+	"hep/internal/gen"
+	"hep/internal/graph"
+	"hep/internal/parttest"
+	"hep/internal/stream"
+)
+
+// TestBufferedConformance runs the repository-wide validity checks (every
+// edge exactly once, consistent replicas, balance bound) across graph
+// families, buffer sizes spanning "everything in one batch" down to
+// degenerate single-edge batches, and several k.
+func TestBufferedConformance(t *testing.T) {
+	graphs := map[string]*graph.MemGraph{
+		"ba":        gen.BarabasiAlbert(800, 5, 101),
+		"community": gen.CommunityPowerLaw(1200, 20, 6, 0.2, 102),
+		"star":      gen.Star(200),
+		"tiny":      graph.NewMemGraph(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}}),
+	}
+	for _, bufEdges := range []int{1, 7, 256, 1 << 20} {
+		for gname, g := range graphs {
+			for _, k := range []int{2, 5, 16} {
+				a := &Buffered{BufferEdges: bufEdges}
+				if _, err := parttest.RunAndCheck(a, g, k, 1.05, 2); err != nil {
+					t.Errorf("buffer=%d %s k=%d: %v", bufEdges, gname, k, err)
+				}
+			}
+		}
+	}
+}
+
+// TestBufferedBeatsHDRFOnPowerLawGraphs is the headline quality guarantee
+// of the out-of-core engine: at k=32 on power-law graphs, batch-local
+// neighborhood expansion seeded by the global replica state must beat plain
+// HDRF streaming (which places every edge in isolation).
+func TestBufferedBeatsHDRFOnPowerLawGraphs(t *testing.T) {
+	for _, name := range []string{"OK", "TW"} {
+		g := gen.MustDataset(name).Build(0.25)
+		k := 32
+
+		buffered := &Buffered{BufferEdges: 1 << 15}
+		bres, err := buffered.Partition(g, k)
+		if err != nil {
+			t.Fatalf("%s buffered: %v", name, err)
+		}
+		hres, err := (&stream.HDRF{}).Partition(g, k)
+		if err != nil {
+			t.Fatalf("%s hdrf: %v", name, err)
+		}
+		brf, hrf := bres.ReplicationFactor(), hres.ReplicationFactor()
+		t.Logf("%s k=%d: buffered RF %.3f vs HDRF RF %.3f (batches=%d expansion=%d fallback=%d)",
+			name, k, brf, hrf, buffered.LastStats.Batches,
+			buffered.LastStats.ExpansionEdges, buffered.LastStats.FallbackEdges)
+		if buffered.LastStats.Batches < 2 {
+			t.Fatalf("%s: want multiple batches, got %d", name, buffered.LastStats.Batches)
+		}
+		if brf >= hrf {
+			t.Errorf("%s k=%d: buffered RF %.3f not better than HDRF %.3f", name, k, brf, hrf)
+		}
+	}
+}
+
+// TestBufferedBudget partitions an on-disk graph through the chunked stream
+// and asserts the tracked peak buffer allocation never exceeds the
+// configured byte budget — the bounded-memory contract of the engine.
+func TestBufferedBudget(t *testing.T) {
+	g := gen.MustDataset("OK").Build(0.25)
+	path := writeGraphFile(t, g)
+	src, err := Open(path, 0, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const budget = 1 << 21 // 2 MiB of buffer state
+	bufEdges := BufferForBudget(budget)
+	if bufEdges <= 0 {
+		t.Fatalf("budget %d yields no buffer", budget)
+	}
+	if int64(bufEdges) >= g.NumEdges() {
+		t.Fatalf("test wants multiple batches: buffer %d ≥ m %d", bufEdges, g.NumEdges())
+	}
+	a := &Buffered{BufferEdges: bufEdges}
+	res, err := a.Partition(src, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.M != g.NumEdges() {
+		t.Fatalf("assigned %d of %d edges", res.M, g.NumEdges())
+	}
+	if a.LastStats.PeakBufferBytes <= 0 {
+		t.Fatal("peak buffer bytes not tracked")
+	}
+	if a.LastStats.PeakBufferBytes > budget {
+		t.Fatalf("peak buffer %d bytes exceeds budget %d", a.LastStats.PeakBufferBytes, budget)
+	}
+	if a.LastStats.Batches < 2 {
+		t.Fatalf("want multiple batches, got %d", a.LastStats.Batches)
+	}
+}
+
+// TestBufferedFromFileDiscoversVertexCount exercises the full on-disk path:
+// vertex count discovery at open, chunked degree pass, batched partitioning.
+func TestBufferedFromFileDiscoversVertexCount(t *testing.T) {
+	g := gen.CommunityPowerLaw(3000, 30, 8, 0.2, 55)
+	src, err := Open(writeGraphFile(t, g), 0, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.NumVertices() != g.NumVertices() {
+		t.Fatalf("discovered n = %d, want %d", src.NumVertices(), g.NumVertices())
+	}
+	a := &Buffered{BufferEdges: 2048}
+	res, err := a.Partition(src, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.M != g.NumEdges() {
+		t.Fatalf("assigned %d of %d edges", res.M, g.NumEdges())
+	}
+	if err := res.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBufferForBudget pins the budget→buffer relation.
+func TestBufferForBudget(t *testing.T) {
+	if b := BufferForBudget(BytesPerBufferedEdge * 100); b != 100 {
+		t.Fatalf("BufferForBudget = %d, want 100", b)
+	}
+	if b := BufferForBudget(10); b != 0 {
+		t.Fatalf("tiny budget: %d, want 0", b)
+	}
+}

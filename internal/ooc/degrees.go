@@ -1,0 +1,32 @@
+package ooc
+
+import (
+	"hep/internal/graph"
+)
+
+// DegreePass computes exact vertex degrees in one pass over src, holding
+// only the degree array plus whatever src keeps in flight (one chunk for a
+// Stream) — the external-memory degree pass of the out-of-core pipeline.
+// The degree array grows on demand, so the pass also discovers the vertex
+// count: len(deg) is max id + 1 (or src.NumVertices() if larger). Each
+// undirected edge contributes 1 to both endpoints; self-loops contribute 2.
+func DegreePass(src graph.EdgeStream) (deg []int32, m int64, err error) {
+	deg = make([]int32, src.NumVertices())
+	err = src.Edges(func(u, v graph.V) bool {
+		hi := u
+		if v > hi {
+			hi = v
+		}
+		if int64(hi) >= int64(len(deg)) {
+			deg = append(deg, make([]int32, int(hi)+1-len(deg))...)
+		}
+		deg[u]++
+		deg[v]++
+		m++
+		return true
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return deg, m, nil
+}

@@ -10,6 +10,7 @@ import (
 	"hep/internal/hybrid"
 	"hep/internal/mlp"
 	"hep/internal/ne"
+	"hep/internal/ooc"
 	"hep/internal/part"
 	"hep/internal/stream"
 )
@@ -41,6 +42,8 @@ func allAlgorithms() []algoCase {
 		{&dne.DNE{Workers: 2, Seed: 5}, 0, 0},
 		{&mlp.MLP{Seed: 9}, 0, 0},
 		{&hybrid.Simple{Tau: 10, Seed: 13}, 1.0, 2},
+		{&ooc.Buffered{BufferEdges: 512}, 1.05, 2},
+		{&ooc.Buffered{BufferEdges: 8192}, 1.05, 2}, // conformance graphs fit one batch
 	}
 }
 

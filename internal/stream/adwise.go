@@ -65,7 +65,7 @@ func (a *ADWISE) Partition(src graph.EdgeStream, k int) (*part.Result, error) {
 			}
 		}
 		if bestI < 0 {
-			bestI, bestP = 0, argminLoad(res.Counts)
+			bestI, bestP = 0, ArgminLoad(res.Counts)
 		}
 		e := buf[bestI]
 		buf[bestI] = buf[len(buf)-1]

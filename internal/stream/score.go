@@ -82,6 +82,14 @@ func bestHDRF(res *part.Result, u, v graph.V, du, dv int32, lambda float64, capa
 	return best
 }
 
+// BestHDRF exposes the HDRF placement rule to other informed-streaming
+// phases (the out-of-core buffered partitioner's fallback): the admissible
+// partition with the highest score for (u,v) given exact degrees, or -1 when
+// every partition is at capacity.
+func BestHDRF(res *part.Result, u, v graph.V, du, dv int32, lambda float64, capacity int64) int {
+	return bestHDRF(res, u, v, du, dv, lambda, capacity)
+}
+
 // RunHDRF streams the edges of src into res using HDRF scoring with the
 // provided exact degree array. It is HEP's informed streaming phase: res
 // already carries the replica sets produced by NE++, so every placement
@@ -96,7 +104,7 @@ func RunHDRF(src graph.EdgeStream, res *part.Result, deg []int32, lambda, alpha 
 			// All partitions at capacity: place on the least loaded to
 			// preserve the exactly-once guarantee (only reachable when
 			// α·|E|/k rounds below the residual load).
-			p = argminLoad(res.Counts)
+			p = ArgminLoad(res.Counts)
 		}
 		res.Assign(u, v, p)
 		return true
@@ -132,14 +140,17 @@ func RunHDRFWithState(src graph.EdgeStream, res, state *part.Result, deg []int32
 			}
 		}
 		if best < 0 {
-			best = argminLoad(res.Counts)
+			best = ArgminLoad(res.Counts)
 		}
 		res.Assign(u, v, best)
 		return true
 	})
 }
 
-func argminLoad(counts []int64) int {
+// ArgminLoad returns the least-loaded partition (lowest index on ties) —
+// the shared last-resort placement rule of the streaming partitioners and
+// ooc's buffered fallback.
+func ArgminLoad(counts []int64) int {
 	best := 0
 	for p, c := range counts {
 		if c < counts[best] {

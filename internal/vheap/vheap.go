@@ -26,6 +26,17 @@ func New(n int) *Heap {
 	return &Heap{pos: pos}
 }
 
+// NewWithCap is New with the id/key arrays pre-allocated for c entries, so
+// the heap never re-allocates while it holds at most c vertices — callers
+// with a strict memory accounting (the out-of-core buffer budget) get an
+// exact, stable Bytes() instead of append-growth overshoot.
+func NewWithCap(n, c int) *Heap {
+	h := New(n)
+	h.ids = make([]uint32, 0, c)
+	h.keys = make([]int32, 0, c)
+	return h
+}
+
 // Len returns the number of vertices currently in the heap.
 func (h *Heap) Len() int { return len(h.ids) }
 
