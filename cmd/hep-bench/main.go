@@ -20,7 +20,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig2|fig5|fig7|fig8|fig9|table2|table3|table4|table5|table6|ooc|all")
+		exp      = flag.String("exp", "all", "experiment: fig2|fig5|fig7|fig8|fig9|table2|table3|table4|table5|table6|ooc|state|all")
 		scale    = flag.Float64("scale", 0.25, "dataset scale factor")
 		datasets = flag.String("datasets", "", "comma-separated dataset names (default per experiment)")
 		ks       = flag.String("k", "", "comma-separated partition counts (default per experiment)")
@@ -55,8 +55,9 @@ func main() {
 		"table5": func(c expt.Config) error { _, err := expt.Table5(c); return err },
 		"table6": func(c expt.Config) error { _, err := expt.Table6(c); return err },
 		"ooc":    func(c expt.Config) error { _, err := expt.TableBuffered(c); return err },
+		"state":  func(c expt.Config) error { _, err := expt.TableState(c); return err },
 	}
-	order := []string{"table3", "fig2", "fig5", "fig7", "fig8", "fig9", "table2", "table4", "table5", "table6", "ooc"}
+	order := []string{"table3", "fig2", "fig5", "fig7", "fig8", "fig9", "table2", "table4", "table5", "table6", "ooc", "state"}
 
 	if *exp == "all" {
 		for _, name := range order {

@@ -67,8 +67,9 @@ type (
 	EdgeStream = graph.EdgeStream
 	// MemGraph is an in-memory edge list implementing EdgeStream.
 	MemGraph = graph.MemGraph
-	// Result is a k-way partitioning: per-partition edge counts and
-	// vertex replica sets, with quality metrics as methods.
+	// Result is a k-way partitioning: per-partition edge counts and a
+	// vertex-major replica table (one partition mask per vertex), with
+	// quality metrics as methods.
 	Result = part.Result
 	// Algorithm is the common partitioner interface.
 	Algorithm = part.Algorithm

@@ -8,6 +8,7 @@ import (
 	"sort"
 
 	"hep/internal/graph"
+	"hep/internal/pstate"
 )
 
 // BytesPerID is b_id: vertex ids are 32-bit for graphs under 2^32 vertices
@@ -23,8 +24,16 @@ type Footprint struct {
 	IndexArrays int64
 	// SizeFields is 2·|V|·b_id (valid-entry counts per in/out list).
 	SizeFields int64
-	// Bitsets is |V|·(k+1)/8 (k secondary sets + core set).
-	Bitsets int64
+	// ReplicaTable is the vertex-major replica table: 8·|V|·⌈k/64⌉ mask
+	// bytes plus 8·k of per-partition counts (pstate.MaxTableBytes). The
+	// model charges the worst case — every overflow page allocated — so a
+	// τ chosen under a budget can never overshoot it, even though
+	// power-law runs typically stay near the 8·|V| dense words.
+	ReplicaTable int64
+	// AuxBitsets is 3·|V|/8: NE++'s core set C plus the current and
+	// pre-seeded next secondary sets (the per-partition secondary bitsets
+	// of the partition-major layout are gone).
+	AuxBitsets int64
 	// Heap is 2·|V|·b_id (min-heap + position lookup).
 	Heap int64
 	// H2HEdges counts the edges spilled out of memory at this τ.
@@ -32,9 +41,9 @@ type Footprint struct {
 }
 
 // Total returns the §4.2 sum:
-// Σ_{v∈V_l} d(v)·b_id + 6·|V|·b_id + |V|·(k+1)/8 bytes.
+// Σ_{v∈V_l} d(v)·b_id + 6·|V|·b_id + 8·|V|·⌈k/64⌉ + 8·k + 3·|V|/8 bytes.
 func (f Footprint) Total() int64 {
-	return f.ColumnArray + f.IndexArrays + f.SizeFields + f.Bitsets + f.Heap
+	return f.ColumnArray + f.IndexArrays + f.SizeFields + f.ReplicaTable + f.AuxBitsets + f.Heap
 }
 
 // Estimate evaluates the model for one τ given the degree array and k.
@@ -54,7 +63,8 @@ func Estimate(deg []int32, m int64, k int, tau float64) Footprint {
 	f.ColumnArray = colEntries * BytesPerID
 	f.IndexArrays = 2 * int64(n) * BytesPerID
 	f.SizeFields = 2 * int64(n) * BytesPerID
-	f.Bitsets = int64(n) * int64(k+1) / 8
+	f.ReplicaTable = pstate.MaxTableBytes(n, k)
+	f.AuxBitsets = 3 * int64(n) / 8
 	f.Heap = 2 * int64(n) * BytesPerID
 	f.H2HEdges = estimateH2H(highDeg, m)
 	return f

@@ -6,6 +6,7 @@ import (
 
 	"hep/internal/gen"
 	"hep/internal/graph"
+	"hep/internal/pstate"
 )
 
 func TestEstimateComponents(t *testing.T) {
@@ -18,12 +19,31 @@ func TestEstimateComponents(t *testing.T) {
 	if f.IndexArrays != 2*4*BytesPerID || f.SizeFields != 2*4*BytesPerID || f.Heap != 2*4*BytesPerID {
 		t.Fatal("fixed components wrong")
 	}
-	if f.Bitsets != int64(4*(4+1)/8) {
-		t.Fatalf("bitsets = %d", f.Bitsets)
+	if f.ReplicaTable != pstate.MaxTableBytes(4, 4) {
+		t.Fatalf("replica table = %d", f.ReplicaTable)
 	}
-	want := f.ColumnArray + f.IndexArrays + f.SizeFields + f.Bitsets + f.Heap
+	if f.AuxBitsets != int64(3*4/8) {
+		t.Fatalf("aux bitsets = %d", f.AuxBitsets)
+	}
+	want := f.ColumnArray + f.IndexArrays + f.SizeFields + f.ReplicaTable + f.AuxBitsets + f.Heap
 	if f.Total() != want {
 		t.Fatal("total mismatch")
+	}
+}
+
+// TestReplicaTableScalesWithMaskWords pins the k-dependence of the new
+// accounting: one dense word per vertex up to k=64, one extra word per
+// additional 64 partitions.
+func TestReplicaTableScalesWithMaskWords(t *testing.T) {
+	deg := []int32{1, 2, 2, 1}
+	f32 := Estimate(deg, 3, 32, math.Inf(1))
+	f64 := Estimate(deg, 3, 64, math.Inf(1))
+	f256 := Estimate(deg, 3, 256, math.Inf(1))
+	if f32.ReplicaTable-32*8 != f64.ReplicaTable-64*8 {
+		t.Fatalf("k=32 and k=64 mask bytes differ: %d vs %d", f32.ReplicaTable, f64.ReplicaTable)
+	}
+	if f256.ReplicaTable-256*8 != 4*(f64.ReplicaTable-64*8) {
+		t.Fatalf("k=256 mask bytes %d not 4x the k=64 word", f256.ReplicaTable)
 	}
 }
 

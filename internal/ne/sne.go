@@ -179,10 +179,10 @@ func (r *sneRun) sweepBothCore(i int) {
 				continue
 			}
 			score := 0
-			if r.res.Replicas[p].Has(e.U) {
+			if r.res.Reps.Has(e.U, p) {
 				score++
 			}
-			if r.res.Replicas[p].Has(e.V) {
+			if r.res.Reps.Has(e.V, p) {
 				score++
 			}
 			if score > bestScore || (score == bestScore && best >= 0 && r.res.Counts[p] < r.res.Counts[best]) {

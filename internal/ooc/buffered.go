@@ -21,8 +21,8 @@ const DefaultBufferEdges = 1 << 20
 // member (1) + active (4) + touched (4) + warm (4) + heap pos/ids/keys
 // (4+4+4) = 41 bytes. Total 25 + 2·41 = 107, rounded up to 112 for slack.
 // batchState.bytes() tracks the real allocation against this bound.
-// Vertex-indexed *global* state (degree array, local-id map, replica
-// bitsets) is O(|V|), independent of the buffer size; it is the fixed
+// Vertex-indexed *global* state (degree array, local-id map, vertex-major
+// replica table) is O(|V|), independent of the buffer size; it is the fixed
 // resident baseline of the out-of-core model, not part of the buffer budget.
 const BytesPerBufferedEdge = 112
 
@@ -328,13 +328,12 @@ func (b *Buffered) growRegion(st *batchState, res *part.Result, p, quota int) in
 	// region up front, so edges between two p-replicated vertices are
 	// assigned to p at zero replication cost and the expansion continues
 	// p's existing territory instead of opening a new one. The full active
-	// scan costs O(k·|batch vertices|) bitset probes per batch — the same
-	// order as HDRF's per-edge k-way scoring loop — and bounding it (like
-	// seedScanLimit does for seeds) measurably costs replication factor,
-	// so the scan is deliberately unbounded.
+	// scan is one vertex-major mask probe per batch vertex per region;
+	// bounding it (like seedScanLimit does for seeds) measurably costs
+	// replication factor, so the scan is deliberately unbounded.
 	st.warm = st.warm[:0]
 	for _, v := range st.active {
-		if res.Replicas[p].Has(st.verts[v]) {
+		if res.Reps.Has(st.verts[v], p) {
 			st.warm = append(st.warm, v)
 		}
 	}
@@ -451,7 +450,7 @@ func (st *batchState) pickSeed(res *part.Result, p int) int32 {
 		if st.member[v] {
 			continue
 		}
-		if res.Replicas[p].Has(st.verts[v]) {
+		if res.Reps.Has(st.verts[v], p) {
 			if bestHit < 0 || st.udeg[v] < st.udeg[bestHit] {
 				bestHit = v
 			}
@@ -478,7 +477,7 @@ func (b *Buffered) fallback(st *batchState, res *part.Result, deg []int32, lambd
 		u, v := st.batch[i].U, st.batch[i].V
 		p := stream.BestHDRF(res, u, v, deg[u], deg[v], lambda, capacity)
 		if p < 0 {
-			p = stream.ArgminLoad(res.Counts)
+			p = res.Loads.ArgMin()
 		}
 		res.Assign(u, v, p)
 		st.assigned[i] = true

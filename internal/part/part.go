@@ -1,13 +1,14 @@
 // Package part defines the common result representation shared by every
-// edge partitioner in the repository: per-partition edge counts and replica
-// (covered-vertex) sets, from which all quality metrics of paper §2 derive.
+// edge partitioner in the repository: per-partition edge counts and the
+// vertex-major replica table, from which all quality metrics of paper §2
+// derive.
 package part
 
 import (
 	"fmt"
 
-	"hep/internal/bitset"
 	"hep/internal/graph"
+	"hep/internal/pstate"
 )
 
 // Sink optionally receives every edge assignment as it happens. Partitioners
@@ -23,17 +24,30 @@ type SinkFunc func(u, v graph.V, p int)
 // Assign implements Sink.
 func (f SinkFunc) Assign(u, v graph.V, p int) { f(u, v, p) }
 
-// Result accumulates a k-way edge partitioning of a graph with n vertices:
-// edge counts and the vertex replica set per partition. A vertex v is
-// replicated on partition p iff some edge incident to v was assigned to p
-// (paper §2: V(p_i)).
+// Result accumulates a k-way edge partitioning of a graph with n vertices.
+// A vertex v is replicated on partition p iff some edge incident to v was
+// assigned to p (paper §2: V(p_i)).
+//
+// Replica state is vertex-major: Reps keeps one k-bit partition mask per
+// vertex (pstate.Table), so "which partitions already host v" — the question
+// every streaming scoring loop asks — is ⌈k/64⌉ word reads, and the resident
+// set scales with the number of replicas instead of k·n/8. Loads tracks the
+// per-partition edge counts with their max/min maintained incrementally;
+// Counts aliases its backing slice, so existing readers keep indexing
+// Counts[p] directly. Writers must go through Assign (or Warm/AddLoad) or
+// the load bounds go stale.
 type Result struct {
 	K int
 	N int
 	M int64 // number of edges assigned so far
 
-	Counts   []int64
-	Replicas []*bitset.Set
+	// Counts is the per-partition edge count; it aliases Loads' backing
+	// slice. Read freely; write only through Assign or AddLoad.
+	Counts []int64
+	// Reps is the vertex-major replica table (single source of truth).
+	Reps *pstate.Table
+	// Loads tracks max/min load incrementally for the scoring hot path.
+	Loads *pstate.Loads
 
 	// Sink, if non-nil, receives every assignment.
 	Sink Sink
@@ -42,47 +56,49 @@ type Result struct {
 // NewResult returns an empty result for a graph with n vertices and k
 // partitions.
 func NewResult(n, k int) *Result {
-	r := &Result{
-		K:        k,
-		N:        n,
-		Counts:   make([]int64, k),
-		Replicas: make([]*bitset.Set, k),
+	loads := pstate.NewLoads(k)
+	return &Result{
+		K:      k,
+		N:      n,
+		Counts: loads.Counts(),
+		Reps:   pstate.NewTable(n, k),
+		Loads:  loads,
 	}
-	for i := range r.Replicas {
-		r.Replicas[i] = bitset.New(n)
-	}
-	return r
 }
 
 // Assign records edge (u,v) in partition p.
 func (r *Result) Assign(u, v graph.V, p int) {
-	r.Counts[p]++
+	r.Loads.Inc(p)
 	r.M++
-	r.Replicas[p].Set(u)
-	r.Replicas[p].Set(v)
+	r.Reps.Add(u, p)
+	r.Reps.Add(v, p)
 	if r.Sink != nil {
 		r.Sink.Assign(u, v, p)
 	}
 }
 
+// Warm marks v replicated on p without assigning an edge — warm-state
+// construction for informed streaming (tests, ablations).
+func (r *Result) Warm(v graph.V, p int) { r.Reps.Add(v, p) }
+
+// AddLoad adds delta edges to partition p's count without touching replica
+// state, keeping the load tracker consistent (cold path; tests).
+func (r *Result) AddLoad(p int, delta int64) { r.Loads.Bulk(p, delta) }
+
 // ReplicationFactor returns RF = (1/|V'|) Σ_i |V(p_i)| where |V'| is the
 // number of vertices covered by at least one partition (isolated vertices
 // are not counted; they are never replicated anywhere).
 func (r *Result) ReplicationFactor() float64 {
-	covered := bitset.New(r.N)
-	total := 0
-	for _, rep := range r.Replicas {
-		total += rep.Count()
-		covered.Union(rep)
-	}
-	c := covered.Count()
-	if c == 0 {
+	total, covered := r.Reps.TotalAndCovered()
+	if covered == 0 {
 		return 0
 	}
-	return float64(total) / float64(c)
+	return float64(total) / float64(covered)
 }
 
-// MaxLoad returns the size of the largest partition.
+// MaxLoad returns the size of the largest partition. It rescans Counts so
+// it stays truthful even if a test mutated Counts directly; hot paths read
+// Loads.Max instead.
 func (r *Result) MaxLoad() int64 {
 	var max int64
 	for _, c := range r.Counts {
@@ -118,27 +134,18 @@ func (r *Result) Balance() float64 {
 
 // ReplicaCounts returns, per vertex, the number of partitions covering it.
 func (r *Result) ReplicaCounts() []int32 {
-	counts := make([]int32, r.N)
-	for _, rep := range r.Replicas {
-		rep.Range(func(v uint32) bool {
-			counts[v]++
-			return true
-		})
-	}
-	return counts
+	return r.Reps.ReplicaCounts()
 }
 
 // VertexCounts returns |V(p_i)| for every partition.
 func (r *Result) VertexCounts() []int {
-	out := make([]int, r.K)
-	for i, rep := range r.Replicas {
-		out[i] = rep.Count()
-	}
-	return out
+	return r.Reps.VertexCounts()
 }
 
-// Validate performs internal consistency checks: counts sum to M, and every
-// partition with edges has a non-empty replica set.
+// Validate performs internal consistency checks: counts sum to M, every
+// partition with edges has a non-empty replica set, and the incremental
+// load tracker agrees with the counts it tracks (catching writers that
+// bypassed Assign/AddLoad and mutated Counts directly).
 func (r *Result) Validate() error {
 	var sum int64
 	for i, c := range r.Counts {
@@ -146,12 +153,16 @@ func (r *Result) Validate() error {
 			return fmt.Errorf("part: negative count in partition %d", i)
 		}
 		sum += c
-		if c > 0 && r.Replicas[i].Count() == 0 {
+		if c > 0 && r.Reps.VertexCount(i) == 0 {
 			return fmt.Errorf("part: partition %d has %d edges but no replicas", i, c)
 		}
 	}
 	if sum != r.M {
 		return fmt.Errorf("part: counts sum %d != M %d", sum, r.M)
+	}
+	if max, min := r.MaxLoad(), r.MinLoad(); r.Loads.Max() != max || r.Loads.Min() != min {
+		return fmt.Errorf("part: load tracker (max %d, min %d) out of sync with counts (max %d, min %d); write through Assign or AddLoad, never Counts[p] directly",
+			r.Loads.Max(), r.Loads.Min(), max, min)
 	}
 	return nil
 }

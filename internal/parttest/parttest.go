@@ -61,20 +61,18 @@ func CheckReplicas(res *part.Result, col *part.Collect) error {
 		seen[i] = make(map[graph.V]bool)
 	}
 	for _, te := range col.Edges {
-		if !res.Replicas[te.P].Has(te.E.U) || !res.Replicas[te.P].Has(te.E.V) {
+		if !res.Reps.Has(te.E.U, te.P) || !res.Reps.Has(te.E.V, te.P) {
 			return fmt.Errorf("edge %v in partition %d but endpoint not replicated there", te.E, te.P)
 		}
 		seen[te.P][te.E.U] = true
 		seen[te.P][te.E.V] = true
 	}
-	for p := 0; p < res.K; p++ {
+	vcount := make([]int64, res.K)
+	for v := 0; v < n; v++ {
 		var bad error
-		res.Replicas[p].Range(func(v uint32) bool {
-			if int(v) >= n {
-				bad = fmt.Errorf("partition %d: replica %d out of range", p, v)
-				return false
-			}
-			if !seen[p][v] {
+		res.Reps.RangeVertex(graph.V(v), func(p int) bool {
+			vcount[p]++
+			if !seen[p][graph.V(v)] {
 				bad = fmt.Errorf("partition %d: vertex %d replicated without incident edge", p, v)
 				return false
 			}
@@ -82,6 +80,12 @@ func CheckReplicas(res *part.Result, col *part.Collect) error {
 		})
 		if bad != nil {
 			return bad
+		}
+	}
+	// The incrementally maintained |V(p_i)| must agree with the mask scan.
+	for p := 0; p < res.K; p++ {
+		if res.Reps.VertexCount(p) != vcount[p] {
+			return fmt.Errorf("partition %d: vertex count %d, mask scan found %d", p, res.Reps.VertexCount(p), vcount[p])
 		}
 	}
 	return nil

@@ -84,33 +84,33 @@ func NewCluster(res *part.Result, col *Collector, model CostModel) (*Cluster, er
 		return nil, fmt.Errorf("procsim: collector has %d partitions, result %d", len(col.Parts), res.K)
 	}
 	c := &Cluster{K: res.K, N: res.N, Parts: col.Parts, Model: model}
+	// The vertex-major replica table hands over each vertex's partitions in
+	// ascending order, so master (the lowest hosting partition) and the
+	// per-vertex replica lists come out of a single vertex scan.
 	c.master = make([]int32, res.N)
-	for i := range c.master {
-		c.master[i] = -1
-	}
 	counts := make([]int32, res.N)
-	for p := 0; p < res.K; p++ {
-		res.Replicas[p].Range(func(v uint32) bool {
-			counts[v]++
+	var total int32
+	for v := 0; v < res.N; v++ {
+		c.master[v] = -1
+		counts[v] = int32(res.Reps.Count(graph.V(v)))
+		total += counts[v]
+	}
+	c.repOff = make([]int32, res.N+1)
+	var off int32
+	for v := 0; v < res.N; v++ {
+		c.repOff[v] = off
+		off += counts[v]
+	}
+	c.repOff[res.N] = off
+	c.repFlat = make([]int32, total)
+	for v := 0; v < res.N; v++ {
+		i := c.repOff[v]
+		res.Reps.RangeVertex(graph.V(v), func(p int) bool {
 			if c.master[v] < 0 {
 				c.master[v] = int32(p)
 			}
-			return true
-		})
-	}
-	c.repOff = make([]int32, res.N+1)
-	var total int32
-	for v := 0; v < res.N; v++ {
-		c.repOff[v] = total
-		total += counts[v]
-	}
-	c.repOff[res.N] = total
-	c.repFlat = make([]int32, total)
-	fill := make([]int32, res.N)
-	for p := 0; p < res.K; p++ {
-		res.Replicas[p].Range(func(v uint32) bool {
-			c.repFlat[c.repOff[v]+fill[v]] = int32(p)
-			fill[v]++
+			c.repFlat[i] = int32(p)
+			i++
 			return true
 		})
 	}

@@ -1,0 +1,221 @@
+package pstate
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+
+	"hep/internal/graph"
+)
+
+func TestTableDenseSmallK(t *testing.T) {
+	tab := NewTable(100, 32)
+	if tab.Words() != 1 {
+		t.Fatalf("words = %d", tab.Words())
+	}
+	if !tab.Add(5, 3) {
+		t.Fatal("first Add not new")
+	}
+	if tab.Add(5, 3) {
+		t.Fatal("second Add reported new")
+	}
+	tab.Add(5, 31)
+	tab.Add(7, 3)
+	if !tab.Has(5, 3) || !tab.Has(5, 31) || !tab.Has(7, 3) {
+		t.Fatal("Has lost a set bit")
+	}
+	if tab.Has(5, 4) || tab.Has(6, 3) {
+		t.Fatal("Has invented a bit")
+	}
+	if tab.Count(5) != 2 || tab.Count(7) != 1 || tab.Count(0) != 0 {
+		t.Fatal("Count wrong")
+	}
+	vc := tab.VertexCounts()
+	if vc[3] != 2 || vc[31] != 1 || vc[0] != 0 {
+		t.Fatalf("vertex counts %v", vc)
+	}
+	var got []int
+	tab.RangeVertex(5, func(p int) bool { got = append(got, p); return true })
+	if len(got) != 2 || got[0] != 3 || got[1] != 31 {
+		t.Fatalf("RangeVertex = %v", got)
+	}
+}
+
+func TestTableOverflowPaged(t *testing.T) {
+	n, k := 3*PageVertices/2, 200
+	tab := NewTable(n, k)
+	if tab.Words() != 4 {
+		t.Fatalf("words = %d", tab.Words())
+	}
+	if tab.PagesAllocated() != 0 {
+		t.Fatal("pages allocated up front")
+	}
+	base := tab.Bytes()
+
+	tab.Add(0, 63)
+	if tab.PagesAllocated() != 0 {
+		t.Fatal("dense write allocated a page")
+	}
+	tab.Add(0, 64)
+	tab.Add(0, 199)
+	if tab.PagesAllocated() != 1 {
+		t.Fatalf("pages = %d, want 1", tab.PagesAllocated())
+	}
+	if tab.Bytes() <= base {
+		t.Fatal("Bytes did not grow with the page")
+	}
+	v := graph.V(PageVertices + 7) // second page, short tail range
+	tab.Add(v, 130)
+	if tab.PagesAllocated() != 2 {
+		t.Fatalf("pages = %d, want 2", tab.PagesAllocated())
+	}
+	for _, p := range []int{63, 64, 199} {
+		if !tab.Has(0, p) {
+			t.Fatalf("lost bit %d", p)
+		}
+	}
+	if !tab.Has(v, 130) || tab.Has(v, 131) || tab.Has(1, 64) {
+		t.Fatal("overflow Has wrong")
+	}
+	if tab.Count(0) != 3 || tab.Count(v) != 1 {
+		t.Fatal("overflow Count wrong")
+	}
+	var got []int
+	tab.RangeVertex(0, func(p int) bool { got = append(got, p); return true })
+	if len(got) != 3 || got[0] != 63 || got[1] != 64 || got[2] != 199 {
+		t.Fatalf("RangeVertex = %v", got)
+	}
+	total, covered := tab.TotalAndCovered()
+	if total != 4 || covered != 2 {
+		t.Fatalf("total=%d covered=%d", total, covered)
+	}
+}
+
+func TestTableCandidates(t *testing.T) {
+	tab := NewTable(50, 130)
+	tab.Add(1, 0)
+	tab.Add(1, 70)
+	tab.Add(2, 5)
+	tab.Add(2, 129)
+	m := tab.Candidates(1, 2)
+	var got []int
+	for wi, w := range m {
+		for w != 0 {
+			got = append(got, wi<<6+bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+	want := []int{0, 5, 70, 129}
+	if len(got) != len(want) {
+		t.Fatalf("candidates = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("candidates = %v, want %v", got, want)
+		}
+	}
+	SetBit(m, 100)
+	if m[1]>>36&1 != 1 {
+		t.Fatal("SetBit missed")
+	}
+	// One endpoint with no overflow page must not hide the other's bits.
+	m = tab.Candidates(1, 3)
+	if m[1]>>6&1 != 1 { // partition 70
+		t.Fatal("candidates lost overflow bits when one side is unpaged")
+	}
+}
+
+// TestTableMatchesReference drives random Add/Has against a map reference
+// across the dense and paged regimes.
+func TestTableMatchesReference(t *testing.T) {
+	for _, k := range []int{1, 17, 64, 65, 256} {
+		rng := rand.New(rand.NewSource(int64(k)))
+		n := PageVertices + 100
+		tab := NewTable(n, k)
+		ref := map[[2]int]bool{}
+		for i := 0; i < 5000; i++ {
+			v, p := rng.Intn(n), rng.Intn(k)
+			if tab.Add(graph.V(v), p) == ref[[2]int{v, p}] {
+				t.Fatalf("k=%d: Add(%d,%d) newness mismatch", k, v, p)
+			}
+			ref[[2]int{v, p}] = true
+		}
+		for i := 0; i < 5000; i++ {
+			v, p := rng.Intn(n), rng.Intn(k)
+			if tab.Has(graph.V(v), p) != ref[[2]int{v, p}] {
+				t.Fatalf("k=%d: Has(%d,%d) mismatch", k, v, p)
+			}
+		}
+		var total int64
+		covered := map[int]bool{}
+		vcount := make([]int64, k)
+		for vp := range ref {
+			total++
+			covered[vp[0]] = true
+			vcount[vp[1]]++
+		}
+		gotTotal, gotCovered := tab.TotalAndCovered()
+		if gotTotal != total || gotCovered != len(covered) {
+			t.Fatalf("k=%d: total/covered = %d/%d, want %d/%d", k, gotTotal, gotCovered, total, len(covered))
+		}
+		for p := 0; p < k; p++ {
+			if tab.VertexCount(p) != vcount[p] {
+				t.Fatalf("k=%d: vcount[%d] = %d, want %d", k, p, tab.VertexCount(p), vcount[p])
+			}
+		}
+	}
+}
+
+// TestLoadsMatchesScan drives random increments and checks max/min/argmin
+// against full scans after every step.
+func TestLoadsMatchesScan(t *testing.T) {
+	for _, k := range []int{1, 2, 7, 64, 129} {
+		rng := rand.New(rand.NewSource(int64(k)))
+		l := NewLoads(k)
+		for i := 0; i < 20000; i++ {
+			// Bias toward the argmin partition, the hot case in practice.
+			p := rng.Intn(k)
+			if rng.Intn(3) == 0 {
+				p = l.ArgMin()
+			}
+			l.Inc(p)
+			max, min := l.counts[0], l.counts[0]
+			argmin := 0
+			for q, c := range l.counts {
+				if c > max {
+					max = c
+				}
+				if c < min {
+					min, argmin = c, q
+				}
+			}
+			if l.Max() != max || l.Min() != min || l.ArgMin() != argmin {
+				t.Fatalf("k=%d step %d: got (%d,%d,%d), want (%d,%d,%d)",
+					k, i, l.Max(), l.Min(), l.ArgMin(), max, min, argmin)
+			}
+		}
+	}
+}
+
+func TestLoadsBulk(t *testing.T) {
+	l := NewLoads(4)
+	l.Bulk(2, 100)
+	l.Bulk(0, 7)
+	if l.Max() != 100 || l.Min() != 0 || l.ArgMin() != 1 {
+		t.Fatalf("after Bulk: max=%d min=%d argmin=%d", l.Max(), l.Min(), l.ArgMin())
+	}
+	l.Inc(1)
+	l.Inc(3)
+	if l.Min() != 1 || l.ArgMin() != 1 {
+		t.Fatalf("min advance: min=%d argmin=%d", l.Min(), l.ArgMin())
+	}
+}
+
+func TestMaxTableBytes(t *testing.T) {
+	if got := MaxTableBytes(1000, 32); got != 1000*8+32*8 {
+		t.Fatalf("k=32: %d", got)
+	}
+	if got := MaxTableBytes(1000, 256); got != 1000*8*4+256*8 {
+		t.Fatalf("k=256: %d", got)
+	}
+}

@@ -2,9 +2,11 @@ package stream
 
 import (
 	"math"
+	"math/bits"
 
 	"hep/internal/graph"
 	"hep/internal/part"
+	"hep/internal/pstate"
 )
 
 // ADWISE is the adaptive window-based streaming partitioner (Mayer et al.,
@@ -50,22 +52,54 @@ func (a *ADWISE) Partition(src graph.EdgeStream, k int) (*part.Result, error) {
 
 	buf := make([]graph.Edge, 0, window)
 	flushOne := func() {
-		// Pick the best (edge, partition) pair over the whole window.
-		maxLoad, minLoad := loadBounds(res.Counts)
+		// Pick the best (edge, partition) pair over the whole window. Per
+		// edge only the candidate partitions (replica overlap) plus the
+		// least-loaded fallback are scored; a full k-scan per window edge
+		// would repeat the work candidate iteration exists to avoid.
+		maxLoad, minLoad := res.Loads.Max(), res.Loads.Min()
+		counts := res.Counts
+		denom := hdrfEpsilon + float64(maxLoad-minLoad)
+		argmin := res.Loads.ArgMin()
+		admissible := minLoad < capacity
 		bestI, bestP, bestS := -1, -1, math.Inf(-1)
 		for i, e := range buf {
-			for p := 0; p < k; p++ {
-				if res.Counts[p] >= capacity {
+			du, dv := deg[e.U], deg[e.V]
+			sum := float64(du) + float64(dv)
+			gu := 1 + (1 - float64(du)/sum)
+			gv := 1 + (1 - float64(dv)/sum)
+			cand := res.Reps.Candidates(e.U, e.V)
+			if admissible {
+				pstate.SetBit(cand, argmin)
+			}
+			for wi, w := range cand {
+				if w == 0 {
 					continue
 				}
-				s := hdrfScore(res, e.U, e.V, deg[e.U], deg[e.V], p, lambda, maxLoad, minLoad)
-				if s > bestS {
-					bestI, bestP, bestS = i, p, s
+				wu, wv := res.Reps.Word(e.U, wi), res.Reps.Word(e.V, wi)
+				base := wi << 6
+				for w != 0 {
+					b := bits.TrailingZeros64(w)
+					w &= w - 1
+					p := base + b
+					if counts[p] >= capacity {
+						continue
+					}
+					var rep float64
+					if wu>>b&1 != 0 {
+						rep += gu
+					}
+					if wv>>b&1 != 0 {
+						rep += gv
+					}
+					s := rep + lambda*float64(maxLoad-counts[p])/denom
+					if s > bestS {
+						bestI, bestP, bestS = i, p, s
+					}
 				}
 			}
 		}
 		if bestI < 0 {
-			bestI, bestP = 0, ArgminLoad(res.Counts)
+			bestI, bestP = 0, res.Loads.ArgMin()
 		}
 		e := buf[bestI]
 		buf[bestI] = buf[len(buf)-1]

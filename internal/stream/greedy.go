@@ -1,6 +1,8 @@
 package stream
 
 import (
+	"math/bits"
+
 	"hep/internal/graph"
 	"hep/internal/part"
 )
@@ -38,24 +40,34 @@ func (g *Greedy) Partition(src graph.EdgeStream, k int) (*part.Result, error) {
 	return res, nil
 }
 
+// greedyChoice iterates only the partitions hosting u or v (the candidate
+// mask): the both/either preferences can only come from there, and the
+// fallback — least loaded overall, even when every partition is at
+// capacity — is the load tracker's argmin.
 func greedyChoice(res *part.Result, u, v graph.V, capacity int64) int {
-	bothBest, eitherBest, anyBest := -1, -1, -1
-	for p := 0; p < res.K; p++ {
-		load := res.Counts[p]
-		if anyBest < 0 || load < res.Counts[anyBest] {
-			anyBest = p
-		}
-		if load >= capacity {
+	bothBest, eitherBest := -1, -1
+	counts := res.Counts
+	cand := res.Reps.Candidates(u, v)
+	for wi, w := range cand {
+		if w == 0 {
 			continue
 		}
-		hu, hv := res.Replicas[p].Has(u), res.Replicas[p].Has(v)
-		if hu && hv {
-			if bothBest < 0 || load < res.Counts[bothBest] {
-				bothBest = p
+		wu, wv := res.Reps.Word(u, wi), res.Reps.Word(v, wi)
+		base := wi << 6
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			w &= w - 1
+			p := base + b
+			load := counts[p]
+			if load >= capacity {
+				continue
 			}
-		}
-		if hu || hv {
-			if eitherBest < 0 || load < res.Counts[eitherBest] {
+			if wu>>b&1 != 0 && wv>>b&1 != 0 {
+				if bothBest < 0 || load < counts[bothBest] {
+					bothBest = p
+				}
+			}
+			if eitherBest < 0 || load < counts[eitherBest] {
 				eitherBest = p
 			}
 		}
@@ -68,13 +80,6 @@ func greedyChoice(res *part.Result, u, v graph.V, capacity int64) int {
 	default:
 		// Least loaded; if even that is at capacity every partition is
 		// full, and the least loaded is still the right fallback.
-		least := 0
-		for p, c := range res.Counts {
-			if c < res.Counts[least] {
-				least = p
-			}
-		}
-		_ = anyBest
-		return least
+		return res.Loads.ArgMin()
 	}
 }

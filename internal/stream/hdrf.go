@@ -65,7 +65,7 @@ func (h *HDRF) Partition(src graph.EdgeStream, k int) (*part.Result, error) {
 		}
 		p := bestHDRF(res, u, v, deg[u], deg[v], lambda, capacity)
 		if p < 0 {
-			p = ArgminLoad(res.Counts)
+			p = res.Loads.ArgMin()
 		}
 		res.Assign(u, v, p)
 		return true

@@ -3,14 +3,24 @@
 // informed stateful streaming pass HEP runs over E_h2h (paper §3.3).
 //
 // All partitioners here look at one edge (or a small window) at a time and
-// keep only per-partition state: edge counts and vertex replica sets.
+// keep only per-partition state: edge counts and the vertex-major replica
+// table. The scoring loops iterate only the *candidate* partitions — those
+// already hosting one of the edge's endpoints, handed over as a k-bit mask
+// by pstate.Table — plus the least-loaded partition as the balance-only
+// fallback. A partition hosting neither endpoint scores rep = 0, and among
+// those the balance term is maximized exactly at the minimum load, so this
+// candidate set provably contains the full-scan argmax (ties included: the
+// fallback anchor is the lowest-index minimum-load partition, which is the
+// one a full ascending scan would keep).
 package stream
 
 import (
 	"math"
+	"math/bits"
 
 	"hep/internal/graph"
 	"hep/internal/part"
+	"hep/internal/pstate"
 )
 
 // hdrfEpsilon avoids division by zero in the balance term (Petroni et al.).
@@ -19,41 +29,6 @@ const hdrfEpsilon = 1e-9
 // DefaultLambda is the HDRF balance weight recommended by the authors and
 // used in the paper's evaluation (Appendix A: λ = 1.1).
 const DefaultLambda = 1.1
-
-// hdrfScore computes the HDRF score of placing edge (u,v) on partition p.
-//
-//	θ(u) = d(u)/(d(u)+d(v))
-//	g(v,p) = 1 + (1 − θ(v))   if v is replicated on p, else 0
-//	C_REP  = g(u,p) + g(v,p)
-//	C_BAL  = λ · (maxLoad − load_p) / (ε + maxLoad − minLoad)
-func hdrfScore(res *part.Result, u, v graph.V, du, dv int32, p int, lambda float64, maxLoad, minLoad int64) float64 {
-	sum := float64(du) + float64(dv)
-	var rep float64
-	if res.Replicas[p].Has(u) {
-		thetaU := float64(du) / sum
-		rep += 1 + (1 - thetaU)
-	}
-	if res.Replicas[p].Has(v) {
-		thetaV := float64(dv) / sum
-		rep += 1 + (1 - thetaV)
-	}
-	bal := lambda * float64(maxLoad-res.Counts[p]) / (hdrfEpsilon + float64(maxLoad-minLoad))
-	return rep + bal
-}
-
-// loadBounds returns the current max and min partition loads.
-func loadBounds(counts []int64) (max, min int64) {
-	max, min = counts[0], counts[0]
-	for _, c := range counts[1:] {
-		if c > max {
-			max = c
-		}
-		if c < min {
-			min = c
-		}
-	}
-	return max, min
-}
 
 // capFor returns the per-partition capacity bound ⌈α·m/k⌉ used by the
 // balance constraint of §2. α must be ≥ 1 for the bound to be feasible.
@@ -65,18 +40,58 @@ func capFor(alpha float64, m int64, k int) int64 {
 }
 
 // bestHDRF returns the admissible partition with the highest HDRF score for
-// (u,v). Ties break toward the lower load, then the lower index, making
-// runs deterministic.
+// (u,v), or -1 when every partition is at capacity:
+//
+//	θ(u) = d(u)/(d(u)+d(v))
+//	g(v,p) = 1 + (1 − θ(v))   if v is replicated on p, else 0
+//	C_REP  = g(u,p) + g(v,p)
+//	C_BAL  = λ · (maxLoad − load_p) / (ε + maxLoad − minLoad)
+//
+// Only candidate partitions are scored (see the package comment). Ties
+// break toward the lower load, then the lower index, matching a full
+// ascending scan and keeping runs deterministic.
 func bestHDRF(res *part.Result, u, v graph.V, du, dv int32, lambda float64, capacity int64) int {
-	maxLoad, minLoad := loadBounds(res.Counts)
+	return bestHDRFSplit(res.Reps, res, u, v, du, dv, lambda, capacity)
+}
+
+// bestHDRFSplit scores replica affinity against reps (which may be a frozen
+// prior state) and loads/capacity against the result being built.
+func bestHDRFSplit(reps *pstate.Table, res *part.Result, u, v graph.V, du, dv int32, lambda float64, capacity int64) int {
+	maxLoad, minLoad := res.Loads.Max(), res.Loads.Min()
+	counts := res.Counts
+	cand := reps.Candidates(u, v)
+	if minLoad < capacity {
+		pstate.SetBit(cand, res.Loads.ArgMin())
+	}
+	sum := float64(du) + float64(dv)
+	gu := 1 + (1 - float64(du)/sum)
+	gv := 1 + (1 - float64(dv)/sum)
+	denom := hdrfEpsilon + float64(maxLoad-minLoad)
 	best, bestScore := -1, math.Inf(-1)
-	for p := 0; p < res.K; p++ {
-		if res.Counts[p] >= capacity {
+	for wi, w := range cand {
+		if w == 0 {
 			continue
 		}
-		s := hdrfScore(res, u, v, du, dv, p, lambda, maxLoad, minLoad)
-		if s > bestScore || (s == bestScore && best >= 0 && res.Counts[p] < res.Counts[best]) {
-			best, bestScore = p, s
+		wu, wv := reps.Word(u, wi), reps.Word(v, wi)
+		base := wi << 6
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			w &= w - 1
+			p := base + b
+			if counts[p] >= capacity {
+				continue
+			}
+			var rep float64
+			if wu>>b&1 != 0 {
+				rep += gu
+			}
+			if wv>>b&1 != 0 {
+				rep += gv
+			}
+			s := rep + lambda*float64(maxLoad-counts[p])/denom
+			if s > bestScore || (s == bestScore && best >= 0 && counts[p] < counts[best]) {
+				best, bestScore = p, s
+			}
 		}
 	}
 	return best
@@ -92,7 +107,7 @@ func BestHDRF(res *part.Result, u, v graph.V, du, dv int32, lambda float64, capa
 
 // RunHDRF streams the edges of src into res using HDRF scoring with the
 // provided exact degree array. It is HEP's informed streaming phase: res
-// already carries the replica sets produced by NE++, so every placement
+// already carries the replica table produced by NE++, so every placement
 // decision is informed by the in-memory phase (paper §3.3), overcoming the
 // "uninformed assignment problem". totalM is the number of edges of the
 // complete graph, which defines the balance capacity α·|E|/k.
@@ -104,7 +119,7 @@ func RunHDRF(src graph.EdgeStream, res *part.Result, deg []int32, lambda, alpha 
 			// All partitions at capacity: place on the least loaded to
 			// preserve the exactly-once guarantee (only reachable when
 			// α·|E|/k rounds below the residual load).
-			p = ArgminLoad(res.Counts)
+			p = res.Loads.ArgMin()
 		}
 		res.Assign(u, v, p)
 		return true
@@ -118,46 +133,13 @@ func RunHDRF(src graph.EdgeStream, res *part.Result, deg []int32, lambda, alpha 
 func RunHDRFWithState(src graph.EdgeStream, res, state *part.Result, deg []int32, lambda, alpha float64, totalM int64) error {
 	capacity := capFor(alpha, totalM, res.K)
 	return src.Edges(func(u, v graph.V) bool {
-		maxLoad, minLoad := loadBounds(res.Counts)
-		best, bestScore := -1, math.Inf(-1)
-		for p := 0; p < res.K; p++ {
-			if res.Counts[p] >= capacity {
-				continue
-			}
-			// Replica term against the frozen state; balance term against
-			// the in-progress loads.
-			sum := float64(deg[u]) + float64(deg[v])
-			var rep float64
-			if state.Replicas[p].Has(u) {
-				rep += 1 + (1 - float64(deg[u])/sum)
-			}
-			if state.Replicas[p].Has(v) {
-				rep += 1 + (1 - float64(deg[v])/sum)
-			}
-			bal := lambda * float64(maxLoad-res.Counts[p]) / (hdrfEpsilon + float64(maxLoad-minLoad))
-			if s := rep + bal; s > bestScore || (s == bestScore && best >= 0 && res.Counts[p] < res.Counts[best]) {
-				best, bestScore = p, s
-			}
-		}
+		best := bestHDRFSplit(state.Reps, res, u, v, deg[u], deg[v], lambda, capacity)
 		if best < 0 {
-			best = ArgminLoad(res.Counts)
+			best = res.Loads.ArgMin()
 		}
 		res.Assign(u, v, best)
 		return true
 	})
-}
-
-// ArgminLoad returns the least-loaded partition (lowest index on ties) —
-// the shared last-resort placement rule of the streaming partitioners and
-// ooc's buffered fallback.
-func ArgminLoad(counts []int64) int {
-	best := 0
-	for p, c := range counts {
-		if c < counts[best] {
-			best = p
-		}
-	}
-	return best
 }
 
 // hash32 is a deterministic avalanche hash (Murmur3 finalizer) used by the

@@ -24,7 +24,7 @@ func TestHDRFPrefersReplicaOverlap(t *testing.T) {
 func TestHDRFBalanceTermBreaksTies(t *testing.T) {
 	// No replicas anywhere: balance term must pick the emptier partition.
 	res := part.NewResult(4, 2)
-	res.Counts[0] = 100
+	res.AddLoad(0, 100)
 	res.M = 100
 	p := bestHDRF(res, 0, 1, 1, 1, DefaultLambda, 1<<30)
 	if p != 1 {
@@ -63,11 +63,11 @@ func TestRunHDRFUsesInformedState(t *testing.T) {
 	// 0..49 on p0 and 50..99 on p1; informed streaming of edges inside
 	// each group must follow the state.
 	res := part.NewResult(100, 2)
-	for v := uint32(0); v < 50; v++ {
-		res.Replicas[0].Set(v)
+	for v := graph.V(0); v < 50; v++ {
+		res.Warm(v, 0)
 	}
-	for v := uint32(50); v < 100; v++ {
-		res.Replicas[1].Set(v)
+	for v := graph.V(50); v < 100; v++ {
+		res.Warm(v, 1)
 	}
 	deg := make([]int32, 100)
 	for i := range deg {
