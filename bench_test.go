@@ -22,6 +22,7 @@ import (
 	"hep/internal/ooc"
 	"hep/internal/part"
 	"hep/internal/parttest"
+	"hep/internal/shard"
 	"hep/internal/stream"
 )
 
@@ -322,6 +323,46 @@ func BenchmarkHDRFPlacement(b *testing.B) {
 			}
 			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(int64(b.N)*m), "ns/edge")
 		})
+	}
+}
+
+// BenchmarkParallelHDRF measures the parallel sharded streaming engine
+// against sequential RunHDRF on the TW power-law stand-in at k=32: ns/edge
+// and replication factor per worker count. Speedup tracks the cores
+// actually available (GOMAXPROCS) — on a multi-core host W=8 approaches
+// linear scaling; on a single core the W > 1 rows price the engine's
+// batching overhead. `hep-bench -exp shard` prints the same table across
+// datasets and k.
+func BenchmarkParallelHDRF(b *testing.B) {
+	g := gen.MustDataset("TW").Build(benchScale)
+	deg, m, err := graph.Degrees(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := g.NumVertices()
+	const k = 32
+	run := func(b *testing.B, workers int) {
+		b.SetBytes(m * 8)
+		var rf float64
+		for i := 0; i < b.N; i++ {
+			res := part.NewResult(n, k)
+			if workers <= 1 {
+				err = stream.RunHDRF(g, res, deg, stream.DefaultLambda, 1.05, m)
+			} else {
+				err = stream.RunHDRFParallel(g, res, deg, stream.DefaultLambda, 1.05, m,
+					shard.Options{Workers: workers})
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			rf = res.ReplicationFactor()
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(int64(b.N)*m), "ns/edge")
+		b.ReportMetric(rf, "rf")
+	}
+	b.Run("seq", func(b *testing.B) { run(b, 1) })
+	for _, w := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("W=%d", w), func(b *testing.B) { run(b, w) })
 	}
 }
 

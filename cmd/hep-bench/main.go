@@ -20,10 +20,11 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig2|fig5|fig7|fig8|fig9|table2|table3|table4|table5|table6|ooc|state|all")
+		exp      = flag.String("exp", "all", "experiment: fig2|fig5|fig7|fig8|fig9|table2|table3|table4|table5|table6|ooc|state|shard|all")
 		scale    = flag.Float64("scale", 0.25, "dataset scale factor")
 		datasets = flag.String("datasets", "", "comma-separated dataset names (default per experiment)")
 		ks       = flag.String("k", "", "comma-separated partition counts (default per experiment)")
+		workers  = flag.String("workers", "", "comma-separated worker counts for -exp shard (default 1,2,4,8)")
 		skipSlow = flag.Bool("skipslow", true, "skip partitioners the paper marks OOT on large graphs")
 	)
 	flag.Parse()
@@ -32,15 +33,21 @@ func main() {
 	if *datasets != "" {
 		cfg.Datasets = strings.Split(*datasets, ",")
 	}
-	if *ks != "" {
-		for _, s := range strings.Split(*ks, ",") {
-			k, err := strconv.Atoi(strings.TrimSpace(s))
+	intList := func(flagName, val string, dst *[]int) {
+		for _, s := range strings.Split(val, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(s))
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "hep-bench: bad -k value %q\n", s)
+				fmt.Fprintf(os.Stderr, "hep-bench: bad %s value %q\n", flagName, s)
 				os.Exit(2)
 			}
-			cfg.Ks = append(cfg.Ks, k)
+			*dst = append(*dst, v)
 		}
+	}
+	if *ks != "" {
+		intList("-k", *ks, &cfg.Ks)
+	}
+	if *workers != "" {
+		intList("-workers", *workers, &cfg.Workers)
 	}
 
 	runners := map[string]func(expt.Config) error{
@@ -56,8 +63,9 @@ func main() {
 		"table6": func(c expt.Config) error { _, err := expt.Table6(c); return err },
 		"ooc":    func(c expt.Config) error { _, err := expt.TableBuffered(c); return err },
 		"state":  func(c expt.Config) error { _, err := expt.TableState(c); return err },
+		"shard":  func(c expt.Config) error { _, err := expt.TableShard(c); return err },
 	}
-	order := []string{"table3", "fig2", "fig5", "fig7", "fig8", "fig9", "table2", "table4", "table5", "table6", "ooc", "state"}
+	order := []string{"table3", "fig2", "fig5", "fig7", "fig8", "fig9", "table2", "table4", "table5", "table6", "ooc", "state", "shard"}
 
 	if *exp == "all" {
 		for _, name := range order {

@@ -12,6 +12,7 @@
 //	hep-partition -in graph.bin -k 32 -algo buffered -buffer 1048576
 //	hep-partition -in graph.bin -k 32 -algo buffered -budget 536870912
 //	hep-partition -in graph.bin -k 128 -algo hdrf -assign out.txt
+//	hep-partition -in graph.bin -k 32 -algo hdrf -workers 8
 package main
 
 import (
@@ -28,15 +29,17 @@ import (
 
 func main() {
 	var (
-		in     = flag.String("in", "", "binary edge-list input (required)")
-		k      = flag.Int("k", 32, "number of partitions")
-		algo   = flag.String("algo", hep.AlgoHEP, "algorithm: "+strings.Join(hep.Algorithms(), "|"))
-		tau    = flag.Float64("tau", 10, "HEP degree threshold factor")
-		alpha  = flag.Float64("alpha", 0, "balance bound α (0 = algorithm default)")
-		lambda = flag.Float64("lambda", 0, "HDRF λ (0 = default 1.1)")
-		seed   = flag.Int64("seed", 42, "seed for randomized algorithms")
-		assign = flag.String("assign", "", "write 'u v partition' lines to this file")
-		buffer = flag.Int("buffer", 0, "buffered algorithm: edges per batch (0 = default or derived from -budget)")
+		in      = flag.String("in", "", "binary edge-list input (required)")
+		k       = flag.Int("k", 32, "number of partitions")
+		algo    = flag.String("algo", hep.AlgoHEP, "algorithm: "+strings.Join(hep.Algorithms(), "|"))
+		tau     = flag.Float64("tau", 10, "HEP degree threshold factor")
+		alpha   = flag.Float64("alpha", 0, "balance bound α (0 = algorithm default)")
+		lambda  = flag.Float64("lambda", 0, "HDRF λ (0 = default 1.1)")
+		seed    = flag.Int64("seed", 42, "seed for randomized algorithms")
+		assign  = flag.String("assign", "", "write 'u v partition' lines to this file")
+		buffer  = flag.Int("buffer", 0, "buffered algorithm: edges per batch (0 = default or derived from -budget)")
+		workers = flag.Int("workers", 0, "parallel workers for the sharded streaming engine and DNE "+
+			"(0 = all cores, 1 = exact sequential path; algorithms with no parallel path reject > 1)")
 		budget = flag.Int64("budget", 0, "if > 0, fit the partitioner to this many bytes: "+
 			"picks τ for -algo hep (§4.4), sizes the edge buffer for -algo buffered")
 	)
@@ -50,7 +53,7 @@ func main() {
 	cfg := hep.Config{
 		Algorithm: *algo, K: *k, Tau: *tau,
 		Alpha: *alpha, Lambda: *lambda, Seed: *seed,
-		Buffer: *buffer, MemBudget: *budget,
+		Buffer: *buffer, MemBudget: *budget, Workers: *workers,
 	}
 
 	discoverN := 0

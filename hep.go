@@ -55,6 +55,7 @@ import (
 	"hep/internal/ooc"
 	"hep/internal/part"
 	"hep/internal/restream"
+	"hep/internal/shard"
 	"hep/internal/stream"
 )
 
@@ -111,9 +112,21 @@ type Config struct {
 	Alpha float64
 	// Lambda is the HDRF balance weight (default 1.1).
 	Lambda float64
-	// Seed makes randomized algorithms deterministic.
+	// Seed makes randomized algorithms deterministic. Note that full
+	// run-to-run determinism also requires Workers: 1 for the parallel
+	// algorithms — with Workers 0 (all cores) or > 1, placement depends
+	// on worker interleaving.
 	Seed int64
-	// Workers bounds DNE's concurrency.
+	// Workers is the multi-core parallelism of the algorithms that have a
+	// parallel path: the sharded streaming engine behind AlgoHEP's
+	// informed phase (plus its CSR build), AlgoHDRF, AlgoRestream and
+	// AlgoBuffered's fallback, and DNE's concurrent expanders. 0 resolves
+	// to GOMAXPROCS (DNE keeps its own default); 1 forces the exact
+	// sequential code path, which is the determinism guarantee — parallel
+	// placement depends on worker interleaving. Algorithms with no
+	// parallel path (order-sensitive streaming like ADWISE, the in-memory
+	// partitioners) reject Workers > 1 instead of silently running
+	// sequentially.
 	Workers int
 	// Window sizes ADWISE's edge buffer.
 	Window int
@@ -130,8 +143,25 @@ type Config struct {
 	Sink Sink
 }
 
+// ParallelAlgorithms lists the Config.Algorithm values that accept
+// Workers > 1: the algorithms wired to the parallel sharded streaming
+// engine (internal/shard) plus DNE's concurrent expanders.
+func ParallelAlgorithms() []string {
+	return []string{AlgoHEP, AlgoNEPP, AlgoHDRF, AlgoRestream, AlgoBuffered, AlgoDNE}
+}
+
+// shardWorkers resolves Config.Workers for the shard-capable algorithms:
+// 0 means all cores (GOMAXPROCS), anything else is taken literally
+// (1 = the exact sequential path).
+func shardWorkers(cfg Config) int {
+	return shard.Options{Workers: cfg.Workers}.Resolve()
+}
+
 // New returns the partitioner selected by cfg.
 func New(cfg Config) (Algorithm, error) {
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("hep: Workers must be ≥ 0, got %d", cfg.Workers)
+	}
 	name := cfg.Algorithm
 	if name == "" {
 		name = AlgoHEP
@@ -139,9 +169,11 @@ func New(cfg Config) (Algorithm, error) {
 	var a Algorithm
 	switch name {
 	case AlgoHEP:
-		a = &core.HEP{Tau: cfg.Tau, Alpha: cfg.Alpha, Lambda: cfg.Lambda, Seed: cfg.Seed}
+		a = &core.HEP{Tau: cfg.Tau, Alpha: cfg.Alpha, Lambda: cfg.Lambda, Seed: cfg.Seed,
+			Workers: shardWorkers(cfg), BuildWorkers: shardWorkers(cfg)}
 	case AlgoNEPP:
-		a = &core.HEP{Tau: math.Inf(1), Alpha: cfg.Alpha, Lambda: cfg.Lambda}
+		a = &core.HEP{Tau: math.Inf(1), Alpha: cfg.Alpha, Lambda: cfg.Lambda,
+			Workers: shardWorkers(cfg), BuildWorkers: shardWorkers(cfg)}
 	case AlgoNE:
 		a = &ne.NE{Seed: cfg.Seed}
 	case AlgoSNE:
@@ -151,7 +183,7 @@ func New(cfg Config) (Algorithm, error) {
 	case AlgoMETIS:
 		a = &mlp.MLP{Seed: cfg.Seed}
 	case AlgoHDRF:
-		a = &stream.HDRF{Lambda: cfg.Lambda, Alpha: cfg.Alpha}
+		a = &stream.HDRF{Lambda: cfg.Lambda, Alpha: cfg.Alpha, Workers: shardWorkers(cfg)}
 	case AlgoDBH:
 		a = &stream.DBH{}
 	case AlgoGreedy:
@@ -169,11 +201,26 @@ func New(cfg Config) (Algorithm, error) {
 		}
 		a = &hybrid.Simple{Tau: tau, Seed: cfg.Seed}
 	case AlgoRestream:
-		a = &restream.Restream{Passes: cfg.Passes, Lambda: cfg.Lambda, Alpha: cfg.Alpha}
+		a = &restream.Restream{Passes: cfg.Passes, Lambda: cfg.Lambda, Alpha: cfg.Alpha,
+			Workers: shardWorkers(cfg)}
 	case AlgoBuffered:
-		a = &ooc.Buffered{BufferEdges: cfg.Buffer, Lambda: cfg.Lambda, Alpha: cfg.Alpha}
+		a = &ooc.Buffered{BufferEdges: cfg.Buffer, Lambda: cfg.Lambda, Alpha: cfg.Alpha,
+			Workers: shardWorkers(cfg)}
 	default:
 		return nil, fmt.Errorf("hep: unknown algorithm %q", name)
+	}
+	if cfg.Workers > 1 {
+		ok := false
+		for _, p := range ParallelAlgorithms() {
+			if name == p {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return nil, fmt.Errorf("hep: algorithm %q has no parallel path (order-sensitive or in-memory); Workers must be ≤ 1, got %d — parallel algorithms: %v",
+				name, cfg.Workers, ParallelAlgorithms())
+		}
 	}
 	if cfg.Sink != nil {
 		ss, ok := a.(part.SinkSetter)
@@ -266,6 +313,9 @@ var tauCandidates = []float64{100, 50, 20, 10, 5, 2, 1}
 // budget. Any other algorithm is rejected, because a budget would be
 // silently ignored. A zero MemBudget returns cfg unchanged.
 func FitBudget(src EdgeStream, cfg Config) (Config, error) {
+	if cfg.Workers < 0 {
+		return cfg, fmt.Errorf("hep: Workers must be ≥ 0, got %d", cfg.Workers)
+	}
 	if cfg.MemBudget <= 0 {
 		return cfg, nil
 	}

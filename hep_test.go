@@ -8,8 +8,22 @@ import (
 
 func TestPartitionEveryAlgorithm(t *testing.T) {
 	g := Dataset("LJ", 0.05)
+	parallel := map[string]bool{}
+	for _, name := range ParallelAlgorithms() {
+		parallel[name] = true
+	}
 	for _, name := range Algorithms() {
-		res, err := Partition(g, Config{Algorithm: name, K: 8, Tau: 10, Seed: 1, Workers: 2})
+		workers := 1
+		if parallel[name] {
+			workers = 2
+		} else {
+			// No parallel path: Workers > 1 must be a clear error, never a
+			// silent sequential fallback.
+			if _, err := Partition(g, Config{Algorithm: name, K: 8, Tau: 10, Seed: 1, Workers: 2}); err == nil {
+				t.Errorf("%s: Workers=2 accepted despite having no parallel path", name)
+			}
+		}
+		res, err := Partition(g, Config{Algorithm: name, K: 8, Tau: 10, Seed: 1, Workers: workers})
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -18,6 +32,39 @@ func TestPartitionEveryAlgorithm(t *testing.T) {
 		}
 		if rf := res.ReplicationFactor(); rf < 1 {
 			t.Errorf("%s: RF %v < 1", name, rf)
+		}
+	}
+}
+
+func TestWorkersValidation(t *testing.T) {
+	g := Dataset("LJ", 0.03)
+	// Negative Workers rejected everywhere a Config enters the API.
+	if _, err := New(Config{Algorithm: AlgoHDRF, K: 4, Workers: -1}); err == nil {
+		t.Error("New accepted Workers=-1")
+	}
+	if _, err := Partition(g, Config{Algorithm: AlgoHDRF, K: 4, Workers: -1}); err == nil {
+		t.Error("Partition accepted Workers=-1")
+	}
+	if _, err := FitBudget(g, Config{Algorithm: AlgoHEP, K: 4, Workers: -2, MemBudget: 1 << 40}); err == nil {
+		t.Error("FitBudget accepted Workers=-2")
+	}
+	// ADWISE is the canonical order-sensitive algorithm with no parallel
+	// path: Workers > 1 is a clear error, Workers ≤ 1 runs.
+	if _, err := Partition(g, Config{Algorithm: AlgoADWISE, K: 4, Workers: 2}); err == nil {
+		t.Error("ADWISE accepted Workers=2")
+	}
+	if _, err := Partition(g, Config{Algorithm: AlgoADWISE, K: 4, Workers: 1}); err != nil {
+		t.Errorf("ADWISE rejected Workers=1: %v", err)
+	}
+	// Parallel-capable algorithms take Workers > 1 and still assign every
+	// edge exactly once.
+	for _, name := range ParallelAlgorithms() {
+		res, err := Partition(g, Config{Algorithm: name, K: 4, Tau: 10, Seed: 1, Workers: 3})
+		if err != nil {
+			t.Fatalf("%s Workers=3: %v", name, err)
+		}
+		if res.M != g.NumEdges() {
+			t.Errorf("%s Workers=3: assigned %d of %d edges", name, res.M, g.NumEdges())
 		}
 	}
 }

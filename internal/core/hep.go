@@ -6,6 +6,7 @@ import (
 
 	"hep/internal/graph"
 	"hep/internal/part"
+	"hep/internal/shard"
 	"hep/internal/stream"
 )
 
@@ -40,6 +41,11 @@ type HEP struct {
 	// builder (§7 future work: parallelism); results are identical to the
 	// sequential build.
 	BuildWorkers int
+	// Workers > 1 runs the informed streaming phase (§3.3) through the
+	// parallel sharded engine (internal/shard): E_h2h is placed by that
+	// many concurrent workers against the replica state NE++ left behind.
+	// Workers ≤ 1 keeps the exact sequential informed-HDRF pass.
+	Workers int
 
 	// LastStats holds the NE++ statistics of the most recent run.
 	LastStats Stats
@@ -107,9 +113,13 @@ func (h *HEP) PartitionCSR(csr *graph.CSR, k int) (*part.Result, error) {
 	if csr.H2H().Len() > 0 {
 		h2h := h2hStream{store: csr.H2H(), n: csr.N()}
 		var err error
-		if h.RandomStream {
+		switch {
+		case h.RandomStream:
 			err = stream.RunRandom(h2h, res, h.Seed, alpha, csr.M())
-		} else {
+		case h.Workers > 1:
+			err = stream.RunHDRFParallel(h2h, res, csr.Degrees(), lambda, alpha, csr.M(),
+				shard.Options{Workers: h.Workers})
+		default:
 			err = stream.RunHDRF(h2h, res, csr.Degrees(), lambda, alpha, csr.M())
 		}
 		if err != nil {

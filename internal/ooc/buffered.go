@@ -6,6 +6,7 @@ import (
 
 	"hep/internal/graph"
 	"hep/internal/part"
+	"hep/internal/shard"
 	"hep/internal/stream"
 	"hep/internal/vheap"
 )
@@ -16,15 +17,17 @@ const DefaultBufferEdges = 1 << 20
 
 // BytesPerBufferedEdge is the worst-case batch-local allocation per buffered
 // edge. Per edge: the edge itself (8) + two adjacency entries (adjV+adjE,
-// 2×8) + an assigned flag (1) = 25 bytes. Per batch vertex, of which an edge
+// 2×8) + an assigned flag (1) + the parallel fallback's gather buffer (8,
+// allocated only when Workers > 1 but charged always so the budget bound
+// holds in every mode) = 33 bytes. Per batch vertex, of which an edge
 // introduces at most two: verts (4) + off (4) + udeg (4) + activePos (4) +
 // member (1) + active (4) + touched (4) + warm (4) + heap pos/ids/keys
-// (4+4+4) = 41 bytes. Total 25 + 2·41 = 107, rounded up to 112 for slack.
+// (4+4+4) = 41 bytes. Total 33 + 2·41 = 115, rounded up to 120 for slack.
 // batchState.bytes() tracks the real allocation against this bound.
 // Vertex-indexed *global* state (degree array, local-id map, vertex-major
 // replica table) is O(|V|), independent of the buffer size; it is the fixed
 // resident baseline of the out-of-core model, not part of the buffer budget.
-const BytesPerBufferedEdge = 112
+const BytesPerBufferedEdge = 120
 
 // BufferForBudget returns the largest buffer size B whose worst-case
 // batch-local allocation fits budgetBytes (capped so the batch-local int32
@@ -84,6 +87,16 @@ type Buffered struct {
 	Lambda float64
 	// Alpha is the balance bound α ≥ 1 (default 1.05).
 	Alpha float64
+	// Workers > 1 places the per-edge informed-HDRF fallback (cross-region
+	// leftovers, typically the expensive tail of a batch) through the
+	// parallel sharded engine. Region expansion stays sequential — it is a
+	// strictly ordered core-move process — so the replica table converts
+	// to and from its concurrent form at each parallel fallback (a
+	// zero-copy transplant). Workers ≤ 1 keeps the sequential fallback.
+	Workers int
+	// ParallelFallbackMin is the minimum number of leftover edges worth
+	// fanning out (0 = default 2048; below it the sequential loop wins).
+	ParallelFallbackMin int
 
 	// LastStats holds the statistics of the most recent run.
 	LastStats BufferedStats
@@ -135,6 +148,11 @@ type batchState struct {
 
 	adjV []int32 // adjacency: neighbor local id
 	adjE []int32 // adjacency: batch edge index
+
+	// fbEdges gathers the leftover edges for the parallel fallback
+	// (allocated lazily on the first parallel fallback, counted against
+	// the buffer budget like every other batch-local array).
+	fbEdges []graph.Edge
 }
 
 func newBatchState(bufEdges int) *batchState {
@@ -163,7 +181,8 @@ func (st *batchState) bytes() int64 {
 		int64(cap(st.activePos))*4 + int64(cap(st.member)) +
 		int64(cap(st.active))*4 + int64(cap(st.touched))*4 +
 		int64(cap(st.warm))*4 + st.heap.Bytes() +
-		int64(cap(st.adjV))*4 + int64(cap(st.adjE))*4
+		int64(cap(st.adjV))*4 + int64(cap(st.adjE))*4 +
+		int64(cap(st.fbEdges))*8
 }
 
 // seedScanLimit bounds the affinity scan of the active list per seed choice.
@@ -466,10 +485,18 @@ func (st *batchState) pickSeed(res *part.Result, p int) int32 {
 	return bestAny
 }
 
+// defaultParallelFallbackMin is the leftover-edge count below which the
+// sequential fallback beats spinning up the engine.
+const defaultParallelFallbackMin = 2048
+
 // fallback places every still-unassigned batch edge with per-edge informed
 // HDRF (exact global degrees, global replica state) — the escape hatch for
-// cross-region edges and capacity overflow.
+// cross-region edges and capacity overflow. With Workers > 1 and enough
+// leftovers, placement fans out through the parallel sharded engine.
 func (b *Buffered) fallback(st *batchState, res *part.Result, deg []int32, lambda float64, capacity int64) {
+	if b.Workers > 1 && b.fallbackParallel(st, res, deg, lambda, capacity) {
+		return
+	}
 	for i := range st.batch {
 		if st.assigned[i] {
 			continue
@@ -483,6 +510,38 @@ func (b *Buffered) fallback(st *batchState, res *part.Result, deg []int32, lambd
 		st.assigned[i] = true
 		b.LastStats.FallbackEdges++
 	}
+}
+
+// fallbackParallel gathers the batch's unassigned edges and places them with
+// the sharded engine, reporting whether it ran (false = too few leftovers;
+// the sequential loop handles them). Sink delivery stays in batch order.
+func (b *Buffered) fallbackParallel(st *batchState, res *part.Result, deg []int32, lambda float64, capacity int64) bool {
+	min := b.ParallelFallbackMin
+	if min <= 0 {
+		min = defaultParallelFallbackMin
+	}
+	if st.fbEdges == nil {
+		// Preallocate at full buffer capacity so incremental append growth
+		// can never push the gather buffer past the 8 bytes/edge charged in
+		// BytesPerBufferedEdge.
+		st.fbEdges = make([]graph.Edge, 0, cap(st.batch))
+	}
+	st.fbEdges = st.fbEdges[:0]
+	for i := range st.batch {
+		if !st.assigned[i] {
+			st.fbEdges = append(st.fbEdges, st.batch[i])
+		}
+	}
+	if len(st.fbEdges) < min {
+		return false
+	}
+	for i := range st.batch {
+		st.assigned[i] = true
+	}
+	b.LastStats.FallbackEdges += int64(len(st.fbEdges))
+	stream.RunHDRFParallelEdges(st.fbEdges, res, deg, lambda, capacity,
+		shard.Options{Workers: b.Workers})
+	return true
 }
 
 // pickPartition returns the least-loaded partition below capacity, or -1.

@@ -1,0 +1,46 @@
+package part
+
+import (
+	"hep/internal/graph"
+	"hep/internal/shard"
+)
+
+// Shared is the concurrent-state view of a Result for the parallel sharded
+// streaming engine: the replica table transplanted into a CAS-backed
+// shard.AtomicTable and the load tracker wrapped in a shard.ShardedLoads
+// with one delta lane per worker. Workers mutate Table and Loads directly;
+// the engine's ordered delivery records each assignment through Deliver
+// (edge count + sink — the two pieces of Assign the workers cannot apply
+// concurrently without losing stream order).
+type Shared struct {
+	Table *shard.AtomicTable
+	Loads *shard.ShardedLoads
+	res   *Result
+}
+
+// Shared is the concurrent-state constructor: it moves the result's replica
+// table into shared form (no mask words are copied) and opens w load-delta
+// lanes. Until Finish is called the Result's Reps is unusable and Assign
+// must not be used.
+func (r *Result) Shared(w int) *Shared {
+	return &Shared{
+		Table: shard.FromTable(r.Reps),
+		Loads: shard.NewShardedLoads(r.Loads, w),
+		res:   r,
+	}
+}
+
+// Deliver records one ordered edge assignment. Replica bits and load counts
+// were already applied by the worker that placed the edge.
+func (s *Shared) Deliver(u, v graph.V, p int) {
+	s.res.M++
+	if s.res.Sink != nil {
+		s.res.Sink.Assign(u, v, p)
+	}
+}
+
+// Finish freezes the concurrent replica table back into the Result. Every
+// worker must have stopped (and folded its last delta lane) before the call.
+func (s *Shared) Finish() {
+	s.res.Reps = s.Table.Freeze()
+}

@@ -94,12 +94,85 @@ func (l *Loads) ArgMin() int {
 	return 0 // unreachable: nAtMin ≥ 1 by construction
 }
 
-// Bulk adds delta edges to partition p and recomputes the bounds with a
-// full scan — the cold path for tests and warm-state construction.
+// Bulk adds delta edges to partition p. For delta ≥ 0 the bounds are
+// maintained in O(1) — max trivially, min by clearing p from the at-minimum
+// mask and rescanning only when the mask empties — so warm-start folding of
+// per-shard deltas costs O(changed partitions), not O(k) per call. A
+// negative delta breaks the grow-only invariant and falls back to a full
+// recompute (cold path; tests).
 func (l *Loads) Bulk(p int, delta int64) {
-	l.counts[p] += delta
-	l.recompute()
+	if delta == 0 {
+		return
+	}
+	c := l.counts[p] + delta
+	l.counts[p] = c
+	if delta < 0 {
+		l.recompute()
+		return
+	}
+	if c > l.max {
+		l.max = c
+	}
+	if c-delta == l.min {
+		l.atMin[p>>6] &^= 1 << (uint(p) & 63)
+		l.nAtMin--
+		if l.nAtMin == 0 {
+			l.advanceMin()
+		}
+	}
 }
+
+// Merge folds a dense per-partition delta vector (len k) into the tracker —
+// the shard layer's batch-boundary fold of one worker's local load deltas.
+// With non-negative deltas the cost is O(changed partitions) plus at most
+// one O(k) minimum rescan (only when the at-minimum set empties); any
+// negative entry falls back to a full recompute.
+func (l *Loads) Merge(deltas []int64) {
+	for p, d := range deltas {
+		if d == 0 {
+			continue
+		}
+		if d < 0 {
+			for q := p; q < len(deltas); q++ {
+				l.counts[q] += deltas[q]
+			}
+			l.recompute()
+			return
+		}
+		c := l.counts[p] + d
+		l.counts[p] = c
+		if c > l.max {
+			l.max = c
+		}
+		if c-d == l.min && l.nAtMin > 0 {
+			l.atMin[p>>6] &^= 1 << (uint(p) & 63)
+			l.nAtMin--
+		}
+	}
+	if l.nAtMin == 0 {
+		l.advanceMin()
+	}
+}
+
+// advanceMin rescans the counts for the new minimum after the at-minimum
+// set emptied under a bulk update (unlike Inc's unit steps, a bulk delta
+// can jump the minimum by more than one).
+func (l *Loads) advanceMin() {
+	min := l.counts[0]
+	for _, c := range l.counts[1:] {
+		if c < min {
+			min = c
+		}
+	}
+	l.min = min
+	l.rebuildMin()
+}
+
+// Recompute rebuilds max, min and the at-minimum mask from the counts —
+// the repair step for callers that wrote the backing Counts slice directly
+// (a shard worker reloading its bounded-staleness local view from a global
+// snapshot at each batch boundary).
+func (l *Loads) Recompute() { l.recompute() }
 
 // recompute rebuilds max, min and the at-minimum mask from scratch.
 func (l *Loads) recompute() {

@@ -163,7 +163,11 @@ func (t *Table) Word(v graph.V, wi int) uint64 {
 // and returns it. The slice is valid until the next Candidates call and
 // must not be retained.
 func (t *Table) Candidates(u, v graph.V) []uint64 {
-	m := t.scratch
+	return t.candidatesInto(t.scratch, u, v)
+}
+
+// candidatesInto fills m (⌈k/64⌉ words) with mask(u) | mask(v).
+func (t *Table) candidatesInto(m []uint64, u, v graph.V) []uint64 {
 	m[0] = t.dense[u] | t.dense[v]
 	if t.extra > 0 {
 		ou, ov := t.page(u), t.page(v)
@@ -298,6 +302,67 @@ func (t *Table) PagesAllocated() int {
 		}
 	}
 	return n
+}
+
+// Reader is an independent read-only view of a Table with its own candidate
+// scratch buffer. The Table's own Candidates shares one scratch, so
+// concurrent readers — parallel re-streaming workers scoring against a
+// frozen prior table — each take a Reader instead. The table must not be
+// mutated while readers are in use.
+type Reader struct {
+	t       *Table
+	scratch []uint64
+}
+
+// Reader returns a new independent read view of t.
+func (t *Table) Reader() *Reader {
+	return &Reader{t: t, scratch: make([]uint64, t.extra+1)}
+}
+
+// Candidates is Table.Candidates into the reader's private scratch.
+func (r *Reader) Candidates(u, v graph.V) []uint64 {
+	return r.t.candidatesInto(r.scratch, u, v)
+}
+
+// Word returns mask word wi of vertex v.
+func (r *Reader) Word(v graph.V, wi int) uint64 { return r.t.Word(v, wi) }
+
+// Release hands over the table's backing arrays — dense words, overflow
+// pages (nil when k ≤ 64), per-partition vertex counts — and resets t to the
+// unusable zero value. The shard layer transplants the arrays into its
+// concurrent AtomicTable and Adopt()s them back after the parallel run, so
+// the conversion never copies a mask word.
+func (t *Table) Release() (dense []uint64, pages [][]uint64, vcount []int64) {
+	dense, pages, vcount = t.dense, t.pages, t.vcount
+	*t = Table{}
+	return dense, pages, vcount
+}
+
+// Adopt wraps externally built vertex-major state in a Table — the inverse
+// of Release, used by the shard layer to hand a frozen concurrent table back
+// to the sequential world. dense must hold n words, vcount k counts; pages
+// may be nil when every overflow page is unallocated (or k ≤ 64).
+func Adopt(n, k int, dense []uint64, pages [][]uint64, vcount []int64) *Table {
+	if len(dense) != n || len(vcount) != k {
+		panic("pstate: Adopt state does not match n, k")
+	}
+	words := (k + 63) / 64
+	if words < 1 {
+		words = 1
+	}
+	t := &Table{
+		n:       n,
+		k:       k,
+		extra:   words - 1,
+		dense:   dense,
+		pages:   pages,
+		vcount:  vcount,
+		scratch: make([]uint64, words),
+	}
+	if t.extra > 0 && t.pages == nil {
+		t.pages = make([][]uint64, (n+PageVertices-1)/PageVertices)
+	}
+	return t
 }
 
 // MaxTableBytes is the worst-case resident footprint of a Table over n

@@ -211,6 +211,163 @@ func TestLoadsBulk(t *testing.T) {
 	}
 }
 
+// TestLoadsBulkMatchesRecompute drives random bulk updates (growing and,
+// occasionally, shrinking) and checks the O(changed)-path bookkeeping stays
+// bit-identical to a from-scratch recompute.
+func TestLoadsBulkMatchesRecompute(t *testing.T) {
+	for _, k := range []int{1, 3, 64, 130} {
+		rng := rand.New(rand.NewSource(int64(100 + k)))
+		l := NewLoads(k)
+		ref := make([]int64, k)
+		for i := 0; i < 5000; i++ {
+			p := rng.Intn(k)
+			if rng.Intn(4) == 0 {
+				p = l.ArgMin() // stress the at-minimum bookkeeping
+			}
+			d := int64(rng.Intn(5))
+			if rng.Intn(20) == 0 {
+				d = -int64(rng.Intn(3)) // shrink: recompute fallback path
+				if ref[p]+d < 0 {
+					d = -ref[p]
+				}
+			}
+			l.Bulk(p, d)
+			ref[p] += d
+			max, min, argmin := ref[0], ref[0], 0
+			for q, c := range ref {
+				if c > max {
+					max = c
+				}
+				if c < min {
+					min, argmin = c, q
+				}
+			}
+			if l.Max() != max || l.Min() != min || l.ArgMin() != argmin {
+				t.Fatalf("k=%d step %d: got (%d,%d,%d), want (%d,%d,%d)",
+					k, i, l.Max(), l.Min(), l.ArgMin(), max, min, argmin)
+			}
+		}
+	}
+}
+
+// TestLoadsMerge folds random dense delta vectors — including merges that
+// empty the at-minimum set in one call and deltas on several minimum
+// partitions at once — and checks the tracked bounds after each fold.
+func TestLoadsMerge(t *testing.T) {
+	for _, k := range []int{2, 7, 64, 130} {
+		rng := rand.New(rand.NewSource(int64(200 + k)))
+		l := NewLoads(k)
+		ref := make([]int64, k)
+		deltas := make([]int64, k)
+		for round := 0; round < 500; round++ {
+			for p := range deltas {
+				deltas[p] = 0
+			}
+			switch round % 3 {
+			case 0: // sparse
+				for i := 0; i < 3; i++ {
+					deltas[rng.Intn(k)] += int64(rng.Intn(10))
+				}
+			case 1: // dense, hits every minimum partition
+				for p := range deltas {
+					deltas[p] = int64(rng.Intn(4))
+				}
+			case 2: // targeted at the current minimum set
+				deltas[l.ArgMin()] = int64(1 + rng.Intn(5))
+			}
+			l.Merge(deltas)
+			for p := range deltas {
+				ref[p] += deltas[p]
+			}
+			max, min, argmin := ref[0], ref[0], 0
+			for q, c := range ref {
+				if c > max {
+					max = c
+				}
+				if c < min {
+					min, argmin = c, q
+				}
+			}
+			if l.Max() != max || l.Min() != min || l.ArgMin() != argmin {
+				t.Fatalf("k=%d round %d: got (%d,%d,%d), want (%d,%d,%d)",
+					k, round, l.Max(), l.Min(), l.ArgMin(), max, min, argmin)
+			}
+			for p := range ref {
+				if l.Counts()[p] != ref[p] {
+					t.Fatalf("k=%d round %d: counts[%d] = %d, want %d", k, round, p, l.Counts()[p], ref[p])
+				}
+			}
+		}
+	}
+}
+
+// TestReaderMatchesTable checks an independent Reader returns the same
+// candidate masks and words as the table's own shared-scratch path.
+func TestReaderMatchesTable(t *testing.T) {
+	for _, k := range []int{8, 130} {
+		rng := rand.New(rand.NewSource(int64(300 + k)))
+		tab := NewTable(500, k)
+		for i := 0; i < 2000; i++ {
+			tab.Add(graph.V(rng.Intn(500)), rng.Intn(k))
+		}
+		r1, r2 := tab.Reader(), tab.Reader()
+		for i := 0; i < 200; i++ {
+			u, v := graph.V(rng.Intn(500)), graph.V(rng.Intn(500))
+			want := append([]uint64(nil), tab.Candidates(u, v)...)
+			got1 := r1.Candidates(u, v)
+			got2 := r2.Candidates(v, u) // interleaved on a second reader
+			for wi := range want {
+				if got1[wi] != want[wi] || got2[wi] != want[wi] {
+					t.Fatalf("k=%d: reader candidates diverged at word %d", k, wi)
+				}
+				if r1.Word(u, wi) != tab.Word(u, wi) {
+					t.Fatalf("k=%d: reader word diverged", k)
+				}
+			}
+		}
+	}
+}
+
+// TestReleaseAdoptRoundTrip transplants a table's backing state out and
+// back, checking bits, counts and candidate masks survive and the released
+// table is reset.
+func TestReleaseAdoptRoundTrip(t *testing.T) {
+	for _, k := range []int{5, 200} {
+		rng := rand.New(rand.NewSource(int64(400 + k)))
+		tab := NewTable(800, k)
+		type bit struct {
+			v graph.V
+			p int
+		}
+		var bits []bit
+		for i := 0; i < 3000; i++ {
+			b := bit{graph.V(rng.Intn(800)), rng.Intn(k)}
+			tab.Add(b.v, b.p)
+			bits = append(bits, b)
+		}
+		wantCounts := tab.VertexCounts()
+		dense, pages, vcount := tab.Release()
+		if tab.N() != 0 {
+			t.Fatalf("released table not reset: n=%d", tab.N())
+		}
+		back := Adopt(800, k, dense, pages, vcount)
+		for _, b := range bits {
+			if !back.Has(b.v, b.p) {
+				t.Fatalf("k=%d: bit (%d,%d) lost in round trip", k, b.v, b.p)
+			}
+		}
+		for p, c := range back.VertexCounts() {
+			if c != wantCounts[p] {
+				t.Fatalf("k=%d: vcount[%d] = %d, want %d", k, p, c, wantCounts[p])
+			}
+		}
+		// Adopted tables keep working as mutable tables.
+		if !back.Has(0, 0) && !back.Add(0, 0) {
+			t.Fatal("adopted table rejected a fresh Add")
+		}
+	}
+}
+
 func TestMaxTableBytes(t *testing.T) {
 	if got := MaxTableBytes(1000, 32); got != 1000*8+32*8 {
 		t.Fatalf("k=32: %d", got)

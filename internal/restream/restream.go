@@ -12,6 +12,7 @@ import (
 
 	"hep/internal/graph"
 	"hep/internal/part"
+	"hep/internal/shard"
 	"hep/internal/stream"
 )
 
@@ -26,6 +27,11 @@ type Restream struct {
 	Lambda float64
 	// Alpha is the balance bound α ≥ 1 (default 1.05).
 	Alpha float64
+	// Workers > 1 runs every pass through the parallel sharded engine —
+	// re-streaming parallelizes naturally, since later passes score
+	// affinity against a frozen prior state that every worker can read
+	// without coordination. Workers ≤ 1 keeps the sequential passes.
+	Workers int
 }
 
 // Name implements part.Algorithm.
@@ -54,12 +60,20 @@ func (r *Restream) Partition(src graph.EdgeStream, k int) (*part.Result, error) 
 	}
 	n := src.NumVertices()
 
+	opts := shard.Options{Workers: r.Workers}
+	parallel := r.Workers > 1
+
 	// Pass 1: plain streamed HDRF with exact degrees.
 	res := part.NewResult(n, k)
 	if r.passes() == 1 {
 		res.Sink = r.Sink
 	}
-	if err := stream.RunHDRF(src, res, deg, lambda, alpha, m); err != nil {
+	if parallel {
+		err = stream.RunHDRFParallel(src, res, deg, lambda, alpha, m, opts)
+	} else {
+		err = stream.RunHDRF(src, res, deg, lambda, alpha, m)
+	}
+	if err != nil {
 		return nil, err
 	}
 
@@ -70,7 +84,11 @@ func (r *Restream) Partition(src graph.EdgeStream, k int) (*part.Result, error) 
 		if pass == r.passes()-1 {
 			next.Sink = r.Sink // only the final pass emits assignments
 		}
-		err := stream.RunHDRFWithState(src, next, prev, deg, lambda, alpha, m)
+		if parallel {
+			err = stream.RunHDRFWithStateParallel(src, next, prev, deg, lambda, alpha, m, opts)
+		} else {
+			err = stream.RunHDRFWithState(src, next, prev, deg, lambda, alpha, m)
+		}
 		if err != nil {
 			return nil, err
 		}

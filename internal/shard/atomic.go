@@ -1,0 +1,251 @@
+// Package shard is the parallel sharded streaming engine: it splits an edge
+// stream into fixed-size batches, fans them out to W placement workers, and
+// lets every worker place edges concurrently against one shared replica
+// state. The vertex-major layout of pstate.Table is what makes this safe and
+// cheap — each vertex owns exactly one dense mask word, so there is no
+// cross-partition write contention and replica updates reduce to an atomic
+// CAS on that word (the same claim-array discipline internal/dne uses for
+// its shared edge pool). Load state is sharded: every worker accumulates
+// per-partition deltas locally and folds them into the global pstate.Loads
+// tracker at batch boundaries, so the HDRF balance term reads bounds that
+// are stale by at most one batch ("bounded staleness"), which the buffered
+// streaming literature (Chhabra et al.; Schlag et al.) shows preserves
+// partitioning quality while scaling near-linearly with cores.
+//
+// The package deliberately knows nothing about scoring: internal/stream owns
+// the HDRF scorer and implements BatchPlacer on top of the three primitives
+// here — AtomicTable (concurrent replica table), ShardedLoads (delta-folded
+// load tracker) and Run/RunSlice (the batch scheduler with deterministic
+// stream-order delivery).
+package shard
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"hep/internal/graph"
+	"hep/internal/pstate"
+)
+
+// Options parameterizes a parallel run.
+type Options struct {
+	// Workers is the number of placement workers (0 = GOMAXPROCS).
+	Workers int
+	// BatchEdges is the batch size edges are fanned out in (0 =
+	// DefaultBatchEdges). Smaller batches tighten the staleness of the
+	// load bounds at the cost of more fold/snapshot traffic.
+	BatchEdges int
+}
+
+// Resolve returns the effective worker count: Workers, or GOMAXPROCS for 0.
+func (o Options) Resolve() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// AtomicTable is the concurrent form of pstate.Table: the same vertex-major
+// mask layout (one dense uint64 word per vertex for partitions 0..63, lazily
+// allocated overflow pages above), with bit sets done by atomic CAS on the
+// word and page allocation guarded by a mutex. It is API-compatible with the
+// read surface the scoring loops use (Has/Word/Candidates via View) and
+// converts to and from pstate.Table without copying a mask word
+// (FromTable/Freeze transplant the backing arrays).
+type AtomicTable struct {
+	n, k, extra int
+	dense       []uint64 // accessed with atomic loads/CAS
+	pages       []atomic.Pointer[[]uint64]
+	pageMu      sync.Mutex // serializes overflow page allocation
+	vcount      []int64    // |V(p)|, accessed with atomic adds
+}
+
+// NewAtomicTable returns an empty concurrent table for n vertices and k
+// partitions.
+func NewAtomicTable(n, k int) *AtomicTable {
+	return FromTable(pstate.NewTable(n, k))
+}
+
+// FromTable transplants a sequential table's state into a concurrent one.
+// The pstate.Table is consumed (its backing arrays move; it resets to the
+// unusable zero value); Freeze hands them back.
+func FromTable(t *pstate.Table) *AtomicTable {
+	n, k, words := t.N(), t.K(), t.Words()
+	dense, pages, vcount := t.Release()
+	at := &AtomicTable{n: n, k: k, extra: words - 1, dense: dense, vcount: vcount}
+	if at.extra > 0 {
+		if pages == nil {
+			pages = make([][]uint64, (n+pstate.PageVertices-1)/pstate.PageVertices)
+		}
+		at.pages = make([]atomic.Pointer[[]uint64], len(pages))
+		for i := range pages {
+			if pages[i] != nil {
+				pg := pages[i]
+				at.pages[i].Store(&pg)
+			}
+		}
+	}
+	return at
+}
+
+// Freeze converts the table back to a sequential pstate.Table, transplanting
+// the backing arrays. The AtomicTable is consumed; all workers must have
+// stopped before the call.
+func (t *AtomicTable) Freeze() *pstate.Table {
+	var pages [][]uint64
+	if t.extra > 0 {
+		pages = make([][]uint64, len(t.pages))
+		for i := range t.pages {
+			if pg := t.pages[i].Load(); pg != nil {
+				pages[i] = *pg
+			}
+		}
+	}
+	ft := pstate.Adopt(t.n, t.k, t.dense, pages, t.vcount)
+	*t = AtomicTable{}
+	return ft
+}
+
+// N returns the vertex-domain size.
+func (t *AtomicTable) N() int { return t.n }
+
+// K returns the partition count.
+func (t *AtomicTable) K() int { return t.k }
+
+// Words returns ⌈k/64⌉, the number of mask words per vertex.
+func (t *AtomicTable) Words() int { return t.extra + 1 }
+
+// page returns the overflow words of v, or nil when its page is unallocated.
+func (t *AtomicTable) page(v graph.V) []uint64 {
+	pg := t.pages[int(v)/pstate.PageVertices].Load()
+	if pg == nil {
+		return nil
+	}
+	base := (int(v) % pstate.PageVertices) * t.extra
+	return (*pg)[base : base+t.extra]
+}
+
+// ensurePage returns the overflow words of v, allocating the page on demand.
+// Allocation is mutex-guarded so exactly one page wins; readers see it
+// through the atomic pointer.
+func (t *AtomicTable) ensurePage(v graph.V) []uint64 {
+	pi := int(v) / pstate.PageVertices
+	pg := t.pages[pi].Load()
+	if pg == nil {
+		t.pageMu.Lock()
+		if pg = t.pages[pi].Load(); pg == nil {
+			span := pstate.PageVertices
+			if lo := pi * pstate.PageVertices; t.n-lo < span {
+				span = t.n - lo
+			}
+			fresh := make([]uint64, span*t.extra)
+			pg = &fresh
+			t.pages[pi].Store(pg)
+		}
+		t.pageMu.Unlock()
+	}
+	base := (int(v) % pstate.PageVertices) * t.extra
+	return (*pg)[base : base+t.extra]
+}
+
+// Has reports whether vertex v is replicated on partition p.
+func (t *AtomicTable) Has(v graph.V, p int) bool {
+	if p < 64 {
+		return atomic.LoadUint64(&t.dense[v])>>(uint(p)&63)&1 != 0
+	}
+	ov := t.page(v)
+	if ov == nil {
+		return false
+	}
+	q := p - 64
+	return atomic.LoadUint64(&ov[q>>6])>>(uint(q)&63)&1 != 0
+}
+
+// Add marks vertex v replicated on partition p with a CAS loop on the
+// vertex's mask word, reporting whether the bit was newly set. Exactly one
+// concurrent adder of the same bit wins, so |V(p)| counts stay exact.
+func (t *AtomicTable) Add(v graph.V, p int) bool {
+	var w *uint64
+	var b uint64
+	if p < 64 {
+		w, b = &t.dense[v], 1<<(uint(p)&63)
+	} else {
+		ov := t.ensurePage(v)
+		q := p - 64
+		w, b = &ov[q>>6], 1<<(uint(q)&63)
+	}
+	for {
+		old := atomic.LoadUint64(w)
+		if old&b != 0 {
+			return false
+		}
+		if atomic.CompareAndSwapUint64(w, old, old|b) {
+			atomic.AddInt64(&t.vcount[p], 1)
+			return true
+		}
+	}
+}
+
+// Word returns mask word wi (partitions 64·wi .. 64·wi+63) of vertex v.
+func (t *AtomicTable) Word(v graph.V, wi int) uint64 {
+	if wi == 0 {
+		return atomic.LoadUint64(&t.dense[v])
+	}
+	ov := t.page(v)
+	if ov == nil {
+		return 0
+	}
+	return atomic.LoadUint64(&ov[wi-1])
+}
+
+// CandidatesInto fills m (⌈k/64⌉ words) with mask(u) | mask(v) — the same
+// candidate set pstate.Table.Candidates hands the scoring loops, read with
+// atomic loads. Workers pass their own scratch (see View).
+func (t *AtomicTable) CandidatesInto(m []uint64, u, v graph.V) []uint64 {
+	m[0] = atomic.LoadUint64(&t.dense[u]) | atomic.LoadUint64(&t.dense[v])
+	if t.extra > 0 {
+		ou, ov := t.page(u), t.page(v)
+		switch {
+		case ou == nil && ov == nil:
+			for i := 1; i < len(m); i++ {
+				m[i] = 0
+			}
+		case ov == nil:
+			for i := 0; i < t.extra; i++ {
+				m[i+1] = atomic.LoadUint64(&ou[i])
+			}
+		case ou == nil:
+			for i := 0; i < t.extra; i++ {
+				m[i+1] = atomic.LoadUint64(&ov[i])
+			}
+		default:
+			for i := 0; i < t.extra; i++ {
+				m[i+1] = atomic.LoadUint64(&ou[i]) | atomic.LoadUint64(&ov[i])
+			}
+		}
+	}
+	return m
+}
+
+// VertexCount returns |V(p)| for one partition.
+func (t *AtomicTable) VertexCount(p int) int64 { return atomic.LoadInt64(&t.vcount[p]) }
+
+// View is one worker's read handle on the table: the shared candidate-mask
+// API with a private scratch buffer, so W workers can score concurrently.
+type View struct {
+	t       *AtomicTable
+	scratch []uint64
+}
+
+// View returns a new independent read view.
+func (t *AtomicTable) View() *View {
+	return &View{t: t, scratch: make([]uint64, t.extra+1)}
+}
+
+// Candidates returns mask(u) | mask(v) in the view's private scratch; the
+// slice is valid until the next Candidates call on the same view.
+func (v *View) Candidates(u, w graph.V) []uint64 { return v.t.CandidatesInto(v.scratch, u, w) }
+
+// Word returns mask word wi of vertex x.
+func (v *View) Word(x graph.V, wi int) uint64 { return v.t.Word(x, wi) }

@@ -1,0 +1,208 @@
+package shard
+
+import (
+	"sync"
+
+	"hep/internal/graph"
+)
+
+// DefaultBatchEdges is the default fan-out batch size. At 4096 edges the
+// per-batch synchronization (one snapshot + one fold, two mutex sections and
+// a k-word copy) amortizes to well under a nanosecond per edge, while the
+// load-bound staleness stays at W·4096 edges — a vanishing fraction of any
+// graph worth parallelizing.
+const DefaultBatchEdges = 4096
+
+// BatchPlacer is one placement worker of the engine. PlaceBatch decides a
+// partition for every edge of one batch, writing parts[i] for edges[i]; it
+// is called from the worker's own goroutine and calls to the same worker
+// never overlap, so a worker may keep per-batch scratch state without locks.
+type BatchPlacer interface {
+	PlaceBatch(edges []graph.Edge, parts []int32)
+}
+
+// job is one batch in flight: seq orders delivery, buf is the owned edge
+// buffer (nil when edges aliases a caller slice in RunSlice mode).
+type job struct {
+	seq   int64
+	edges []graph.Edge
+	parts []int32
+	buf   []graph.Edge
+}
+
+// engine wires the dispatcher, W workers and the collecting caller together.
+// Buffers cycle free → jobs → results → free; the free list is sized so
+// every channel send has room, making the pipeline deadlock-free by
+// construction.
+type engine struct {
+	workers []BatchPlacer
+	jobs    chan *job
+	results chan *job
+	free    chan *job
+}
+
+func newEngine(workers []BatchPlacer, batchEdges int, ownBufs bool) *engine {
+	nbuf := 2*len(workers) + 2
+	e := &engine{
+		workers: workers,
+		jobs:    make(chan *job, nbuf),
+		results: make(chan *job, nbuf),
+		free:    make(chan *job, nbuf),
+	}
+	for i := 0; i < nbuf; i++ {
+		j := &job{parts: make([]int32, batchEdges)}
+		if ownBufs {
+			j.buf = make([]graph.Edge, 0, batchEdges)
+			j.edges = j.buf // first fill appends in place, like every recycle
+		}
+		e.free <- j
+	}
+	return e
+}
+
+// start launches the worker goroutines and arranges for results to close
+// once every worker has drained the (closed) jobs channel.
+func (e *engine) start() {
+	var wg sync.WaitGroup
+	wg.Add(len(e.workers))
+	for _, w := range e.workers {
+		go func(w BatchPlacer) {
+			defer wg.Done()
+			for j := range e.jobs {
+				w.PlaceBatch(j.edges, j.parts[:len(j.edges)])
+				e.results <- j
+			}
+		}(w)
+	}
+	go func() {
+		wg.Wait()
+		close(e.results)
+	}()
+}
+
+// collect reorders finished batches by sequence number and delivers them in
+// stream order — the deterministic replay guarantee: whatever interleaving
+// the workers ran under, the caller observes assignments in the exact order
+// the stream yielded the edges.
+func (e *engine) collect(deliver func(edges []graph.Edge, parts []int32)) {
+	var next int64
+	pending := make(map[int64]*job)
+	for j := range e.results {
+		pending[j.seq] = j
+		for {
+			jj, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			deliver(jj.edges, jj.parts[:len(jj.edges)])
+			if jj.buf != nil {
+				jj.edges = jj.buf[:0]
+			}
+			e.free <- jj
+			next++
+		}
+	}
+}
+
+// Run streams src through the workers in batches of batchEdges (0 =
+// DefaultBatchEdges) and calls deliver once per batch, in stream order, from
+// the calling goroutine. It returns the stream's error, if any; batches
+// dispatched before the error still complete and deliver.
+func Run(src graph.EdgeStream, workers []BatchPlacer, batchEdges int, deliver func(edges []graph.Edge, parts []int32)) error {
+	if batchEdges <= 0 {
+		batchEdges = DefaultBatchEdges
+	}
+	if len(workers) == 1 {
+		// One worker needs no pipeline: place in the caller's goroutine,
+		// batch by batch, preserving the same batch-boundary semantics.
+		return runOne(src, workers[0], batchEdges, deliver)
+	}
+	e := newEngine(workers, batchEdges, true)
+	e.start()
+	var serr error
+	go func() {
+		defer close(e.jobs)
+		var seq int64
+		cur := <-e.free
+		serr = src.Edges(func(u, v graph.V) bool {
+			cur.edges = append(cur.edges, graph.Edge{U: u, V: v})
+			if len(cur.edges) == batchEdges {
+				cur.seq = seq
+				seq++
+				e.jobs <- cur
+				cur = <-e.free
+			}
+			return true
+		})
+		if len(cur.edges) > 0 {
+			cur.seq = seq
+			e.jobs <- cur
+		}
+	}()
+	e.collect(deliver)
+	return serr
+}
+
+// runOne is the single-worker degenerate case of Run: same batching, no
+// goroutines, no reordering.
+func runOne(src graph.EdgeStream, w BatchPlacer, batchEdges int, deliver func(edges []graph.Edge, parts []int32)) error {
+	edges := make([]graph.Edge, 0, batchEdges)
+	parts := make([]int32, batchEdges)
+	flush := func() {
+		w.PlaceBatch(edges, parts[:len(edges)])
+		deliver(edges, parts[:len(edges)])
+		edges = edges[:0]
+	}
+	err := src.Edges(func(u, v graph.V) bool {
+		edges = append(edges, graph.Edge{U: u, V: v})
+		if len(edges) == batchEdges {
+			flush()
+		}
+		return true
+	})
+	if len(edges) > 0 {
+		flush()
+	}
+	return err
+}
+
+// RunSlice is Run over an in-memory edge slice: batches alias subslices of
+// edges (no copying), parts buffers are pooled, and delivery is in slice
+// order. Used by the out-of-core engine's concurrent per-edge fallback,
+// where the leftover batch edges are already materialized.
+func RunSlice(edges []graph.Edge, workers []BatchPlacer, batchEdges int, deliver func(edges []graph.Edge, parts []int32)) {
+	if batchEdges <= 0 {
+		batchEdges = DefaultBatchEdges
+	}
+	if len(workers) == 1 {
+		parts := make([]int32, batchEdges)
+		for off := 0; off < len(edges); off += batchEdges {
+			end := off + batchEdges
+			if end > len(edges) {
+				end = len(edges)
+			}
+			workers[0].PlaceBatch(edges[off:end], parts[:end-off])
+			deliver(edges[off:end], parts[:end-off])
+		}
+		return
+	}
+	e := newEngine(workers, batchEdges, false)
+	e.start()
+	go func() {
+		defer close(e.jobs)
+		var seq int64
+		for off := 0; off < len(edges); off += batchEdges {
+			end := off + batchEdges
+			if end > len(edges) {
+				end = len(edges)
+			}
+			j := <-e.free
+			j.seq = seq
+			seq++
+			j.edges = edges[off:end]
+			e.jobs <- j
+		}
+	}()
+	e.collect(deliver)
+}

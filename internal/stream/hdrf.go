@@ -3,6 +3,7 @@ package stream
 import (
 	"hep/internal/graph"
 	"hep/internal/part"
+	"hep/internal/shard"
 )
 
 // HDRF is the High-Degree Replicated First streaming partitioner (Petroni
@@ -23,6 +24,13 @@ type HDRF struct {
 	// ExactDegrees switches from streamed partial degrees to a pre-pass
 	// computing exact degrees.
 	ExactDegrees bool
+	// Workers > 1 places edges through the parallel sharded streaming
+	// engine (internal/shard). Parallel placement cannot observe partial
+	// degrees in stream order, so it always takes the exact-degree
+	// pre-pass. Workers ≤ 1 keeps the exact sequential path.
+	Workers int
+	// BatchEdges overrides the engine's fan-out batch size (0 = default).
+	BatchEdges int
 }
 
 // Name implements part.Algorithm.
@@ -46,6 +54,18 @@ func (h *HDRF) Partition(src graph.EdgeStream, k int) (*part.Result, error) {
 	res := part.NewResult(n, k)
 	res.Sink = h.Sink
 	capacity := capFor(alpha, src.NumEdges(), k)
+
+	if h.Workers > 1 {
+		deg, m, err := graph.Degrees(src)
+		if err != nil {
+			return nil, err
+		}
+		opts := shard.Options{Workers: h.Workers, BatchEdges: h.BatchEdges}
+		if err := RunHDRFParallel(src, res, deg, lambda, alpha, m, opts); err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
 
 	var deg []int32
 	if h.ExactDegrees {

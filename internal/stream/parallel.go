@@ -1,0 +1,178 @@
+package stream
+
+import (
+	"hep/internal/graph"
+	"hep/internal/part"
+	"hep/internal/pstate"
+	"hep/internal/shard"
+)
+
+// This file is the scoring side of the parallel sharded streaming engine
+// (internal/shard): a BatchPlacer that runs the shared candidate-iteration
+// HDRF scorer (bestHDRFView) against the concurrent replica table and a
+// bounded-staleness load snapshot.
+//
+// Semantics versus the sequential runners: replica state is shared exactly
+// (every worker sees every Add as soon as the CAS lands), so the dominant
+// replication-factor signal is never stale. Load bounds are refreshed once
+// per batch — a worker sees the global counts as of its last batch boundary
+// plus its own in-batch increments — so the balance term and the capacity
+// check can be off by at most the edges the other workers placed within one
+// batch. Placements therefore depend on worker interleaving and are NOT
+// run-to-run deterministic for Workers > 1; Workers ≤ 1 routes to the exact
+// sequential code path. Assignment *delivery* (sink order, res.M) is always
+// in stream order, whatever the interleaving (shard's ordered collector).
+
+// hdrfWorker is one placement worker: reps is where candidate masks come
+// from (the shared atomic table for plain/informed streaming, a frozen prior
+// table's reader for re-streaming), table is where replica bits are written.
+// local is the worker's bounded-staleness load view — a full pstate.Loads
+// tracker reloaded from the folded global counts at each batch boundary and
+// advanced per own assignment within the batch, so the in-batch loop has
+// exactly the sequential runner's semantics (rotating argmin included)
+// against a view that lags other workers by at most one batch.
+type hdrfWorker struct {
+	id       int
+	reps     RepView
+	table    *shard.AtomicTable
+	loads    *shard.ShardedLoads
+	deg      []int32
+	lambda   float64
+	capacity int64
+	local    *pstate.Loads
+}
+
+func newHDRFWorker(id int, reps RepView, sh *part.Shared, deg []int32, lambda float64, capacity int64) *hdrfWorker {
+	return &hdrfWorker{
+		id:       id,
+		reps:     reps,
+		table:    sh.Table,
+		loads:    sh.Loads,
+		deg:      deg,
+		lambda:   lambda,
+		capacity: capacity,
+		local:    pstate.NewLoads(sh.Loads.K()),
+	}
+}
+
+// PlaceBatch implements shard.BatchPlacer: reload the local load view from
+// the folded global state, place every edge of the batch against it, fold
+// the local deltas back.
+func (w *hdrfWorker) PlaceBatch(edges []graph.Edge, parts []int32) {
+	w.loads.Snapshot(w.local.Counts())
+	w.local.Recompute()
+	counts := w.local.Counts()
+	for i := range edges {
+		u, v := edges[i].U, edges[i].V
+		maxLoad, minLoad := w.local.Max(), w.local.Min()
+		am := -1
+		if minLoad < w.capacity {
+			am = w.local.ArgMin()
+		}
+		p := bestHDRFView(w.reps, counts, maxLoad, minLoad, am, u, v, w.deg[u], w.deg[v], w.lambda, w.capacity)
+		if p < 0 {
+			// Every candidate at capacity in the worker's view: least
+			// loaded, mirroring the sequential Loads.ArgMin fallback.
+			p = w.local.ArgMin()
+		}
+		w.table.Add(u, p)
+		w.table.Add(v, p)
+		w.local.Inc(p)
+		w.loads.Inc(w.id, p)
+		parts[i] = int32(p)
+	}
+	w.loads.Fold(w.id)
+}
+
+// adaptiveBatch resolves the engine batch size: an explicit opts value is
+// taken literally; otherwise the batch scales with the stream so the total
+// staleness window (W workers × one batch) stays around 2% of the edges —
+// on small inputs a full-size batch would let one worker's stale view
+// concentrate enough load on one partition to dent the balance, while on
+// anything large the default caps the per-batch synchronization cost.
+func adaptiveBatch(totalM int64, workers, batch int) int {
+	if batch > 0 {
+		return batch
+	}
+	b := int(totalM / int64(50*workers))
+	if b > shard.DefaultBatchEdges {
+		b = shard.DefaultBatchEdges
+	}
+	if b < 256 {
+		b = 256
+	}
+	return b
+}
+
+// RunHDRFParallel is RunHDRF through the sharded engine: the edge stream is
+// split into batches and placed by opts.Resolve() workers scoring against
+// the shared concurrent replica state. res may carry warm informed state
+// (HEP §3.3) exactly like the sequential runner. With one worker it routes
+// to RunHDRF — the exact sequential semantics.
+func RunHDRFParallel(src graph.EdgeStream, res *part.Result, deg []int32, lambda, alpha float64, totalM int64, opts shard.Options) error {
+	workers := opts.Resolve()
+	if workers <= 1 {
+		return RunHDRF(src, res, deg, lambda, alpha, totalM)
+	}
+	opts.BatchEdges = adaptiveBatch(src.NumEdges(), workers, opts.BatchEdges)
+	capacity := capFor(alpha, totalM, res.K)
+	sh := res.Shared(workers)
+	defer sh.Finish()
+	ws := make([]shard.BatchPlacer, workers)
+	for i := range ws {
+		ws[i] = newHDRFWorker(i, sh.Table.View(), sh, deg, lambda, capacity)
+	}
+	return shard.Run(src, ws, opts.BatchEdges, func(edges []graph.Edge, parts []int32) {
+		for i := range edges {
+			sh.Deliver(edges[i].U, edges[i].V, int(parts[i]))
+		}
+	})
+}
+
+// RunHDRFWithStateParallel is the parallel informed re-streaming pass:
+// replica affinity is scored against a *frozen* prior result (each worker
+// takes its own pstate.Reader over it), loads and the replica table being
+// built come from res. With one worker it routes to RunHDRFWithState.
+func RunHDRFWithStateParallel(src graph.EdgeStream, res, state *part.Result, deg []int32, lambda, alpha float64, totalM int64, opts shard.Options) error {
+	workers := opts.Resolve()
+	if workers <= 1 {
+		return RunHDRFWithState(src, res, state, deg, lambda, alpha, totalM)
+	}
+	opts.BatchEdges = adaptiveBatch(src.NumEdges(), workers, opts.BatchEdges)
+	capacity := capFor(alpha, totalM, res.K)
+	sh := res.Shared(workers)
+	defer sh.Finish()
+	ws := make([]shard.BatchPlacer, workers)
+	for i := range ws {
+		ws[i] = newHDRFWorker(i, state.Reps.Reader(), sh, deg, lambda, capacity)
+	}
+	return shard.Run(src, ws, opts.BatchEdges, func(edges []graph.Edge, parts []int32) {
+		for i := range edges {
+			sh.Deliver(edges[i].U, edges[i].V, int(parts[i]))
+		}
+	})
+}
+
+// RunHDRFParallelEdges places an in-memory edge slice with the sharded
+// engine against res's state, with an explicit capacity bound — the
+// out-of-core buffered partitioner's concurrent per-edge fallback (its
+// leftover batch edges are already materialized, so batches alias the slice
+// and nothing is copied). Delivery is in slice order.
+func RunHDRFParallelEdges(edges []graph.Edge, res *part.Result, deg []int32, lambda float64, capacity int64, opts shard.Options) {
+	workers := opts.Resolve()
+	if workers < 1 {
+		workers = 1
+	}
+	opts.BatchEdges = adaptiveBatch(int64(len(edges)), workers, opts.BatchEdges)
+	sh := res.Shared(workers)
+	defer sh.Finish()
+	ws := make([]shard.BatchPlacer, workers)
+	for i := range ws {
+		ws[i] = newHDRFWorker(i, sh.Table.View(), sh, deg, lambda, capacity)
+	}
+	shard.RunSlice(edges, ws, opts.BatchEdges, func(edges []graph.Edge, parts []int32) {
+		for i := range edges {
+			sh.Deliver(edges[i].U, edges[i].V, int(parts[i]))
+		}
+	})
+}

@@ -54,14 +54,78 @@ func bestHDRF(res *part.Result, u, v graph.V, du, dv int32, lambda float64, capa
 	return bestHDRFSplit(res.Reps, res, u, v, du, dv, lambda, capacity)
 }
 
+// RepView is the read surface of a replica table the scoring loops need:
+// the candidate mask of an edge (partitions hosting either endpoint) and
+// per-vertex mask words. pstate.Reader (a frozen prior state read by
+// concurrent re-streaming workers) and shard.View (one worker's handle on
+// the concurrent AtomicTable) implement it for the parallel scorer
+// (bestHDRFView); the sequential path keeps a monomorphized copy of the
+// same loop over the concrete *pstate.Table (bestHDRFSplit), which also
+// satisfies this interface.
+type RepView interface {
+	Candidates(u, v graph.V) []uint64
+	Word(v graph.V, wi int) uint64
+}
+
 // bestHDRFSplit scores replica affinity against reps (which may be a frozen
-// prior state) and loads/capacity against the result being built.
+// prior state) and loads/capacity against the result being built. The body
+// is bestHDRFView monomorphized to the concrete *pstate.Table: the
+// sequential hot loop calls Candidates/Word millions of times per second
+// and interface dispatch costs ~10% at k=256, so the two copies are kept
+// in lockstep — internal/parttest/equiv_test.go pins both (sequential
+// directly, parallel through the quality/conformance suites) to the same
+// partition-major reference.
 func bestHDRFSplit(reps *pstate.Table, res *part.Result, u, v graph.V, du, dv int32, lambda float64, capacity int64) int {
 	maxLoad, minLoad := res.Loads.Max(), res.Loads.Min()
 	counts := res.Counts
 	cand := reps.Candidates(u, v)
 	if minLoad < capacity {
 		pstate.SetBit(cand, res.Loads.ArgMin())
+	}
+	sum := float64(du) + float64(dv)
+	gu := 1 + (1 - float64(du)/sum)
+	gv := 1 + (1 - float64(dv)/sum)
+	denom := hdrfEpsilon + float64(maxLoad-minLoad)
+	best, bestScore := -1, math.Inf(-1)
+	for wi, w := range cand {
+		if w == 0 {
+			continue
+		}
+		wu, wv := reps.Word(u, wi), reps.Word(v, wi)
+		base := wi << 6
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			w &= w - 1
+			p := base + b
+			if counts[p] >= capacity {
+				continue
+			}
+			var rep float64
+			if wu>>b&1 != 0 {
+				rep += gu
+			}
+			if wv>>b&1 != 0 {
+				rep += gv
+			}
+			s := rep + lambda*float64(maxLoad-counts[p])/denom
+			if s > bestScore || (s == bestScore && best >= 0 && counts[p] < counts[best]) {
+				best, bestScore = p, s
+			}
+		}
+	}
+	return best
+}
+
+// bestHDRFView is the RepView form of the scorer the parallel workers use:
+// candidate iteration over any replica view (shard.View over the concurrent
+// table, pstate.Reader over a frozen prior state) against an explicit load
+// view — the worker's bounded-staleness snapshot plus its own in-batch
+// increments, with argmin < 0 when no admissible fallback partition exists.
+// Keep the loop identical to bestHDRFSplit above.
+func bestHDRFView(reps RepView, counts []int64, maxLoad, minLoad int64, argmin int, u, v graph.V, du, dv int32, lambda float64, capacity int64) int {
+	cand := reps.Candidates(u, v)
+	if argmin >= 0 {
+		pstate.SetBit(cand, argmin)
 	}
 	sum := float64(du) + float64(dv)
 	gu := 1 + (1 - float64(du)/sum)
