@@ -366,6 +366,32 @@ func BenchmarkParallelHDRF(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelBuild measures the parallel pre-passes — the exact degree
+// pass through reduction lanes and the sharded two-pass CSR build with
+// atomic slot claims — against their sequential forms (TW stand-in, τ=10).
+// CI smokes it; `hep-bench -exp build` prints the scaling table.
+func BenchmarkParallelBuild(b *testing.B) {
+	g := gen.MustDataset("TW").Build(benchScale)
+	m := g.NumEdges()
+	const tau = 10.0
+	run := func(b *testing.B, workers int) {
+		b.SetBytes(m * 8)
+		for i := 0; i < b.N; i++ {
+			if _, _, err := ooc.DegreePassParallel(g, shard.Options{Workers: workers}); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := core.BuildCSRSharded(g, tau, nil, shard.Options{Workers: workers}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(int64(b.N)*m), "ns/edge")
+	}
+	b.Run("seq", func(b *testing.B) { run(b, 1) })
+	for _, w := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("W=%d", w), func(b *testing.B) { run(b, w) })
+	}
+}
+
 // BenchmarkCSRBuild isolates graph-building cost (§4.1: two passes,
 // O(|E|+|V|)).
 func BenchmarkCSRBuild(b *testing.B) {

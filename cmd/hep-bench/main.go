@@ -20,11 +20,11 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig2|fig5|fig7|fig8|fig9|table2|table3|table4|table5|table6|ooc|state|shard|all")
+		exp      = flag.String("exp", "all", "experiment: fig2|fig5|fig7|fig8|fig9|table2|table3|table4|table5|table6|ooc|state|shard|build|all")
 		scale    = flag.Float64("scale", 0.25, "dataset scale factor")
 		datasets = flag.String("datasets", "", "comma-separated dataset names (default per experiment)")
 		ks       = flag.String("k", "", "comma-separated partition counts (default per experiment)")
-		workers  = flag.String("workers", "", "comma-separated worker counts for -exp shard (default 1,2,4,8)")
+		workers  = flag.String("workers", "", "comma-separated worker counts for -exp shard/build (default 1,2,4,8)")
 		skipSlow = flag.Bool("skipslow", true, "skip partitioners the paper marks OOT on large graphs")
 	)
 	flag.Parse()
@@ -64,8 +64,9 @@ func main() {
 		"ooc":    func(c expt.Config) error { _, err := expt.TableBuffered(c); return err },
 		"state":  func(c expt.Config) error { _, err := expt.TableState(c); return err },
 		"shard":  func(c expt.Config) error { _, err := expt.TableShard(c); return err },
+		"build":  func(c expt.Config) error { _, err := expt.TableBuild(c); return err },
 	}
-	order := []string{"table3", "fig2", "fig5", "fig7", "fig8", "fig9", "table2", "table4", "table5", "table6", "ooc", "state", "shard"}
+	order := []string{"table3", "fig2", "fig5", "fig7", "fig8", "fig9", "table2", "table4", "table5", "table6", "ooc", "state", "shard", "build"}
 
 	if *exp == "all" {
 		for _, name := range order {

@@ -118,15 +118,18 @@ type Config struct {
 	// on worker interleaving.
 	Seed int64
 	// Workers is the multi-core parallelism of the algorithms that have a
-	// parallel path: the sharded streaming engine behind AlgoHEP's
-	// informed phase (plus its CSR build), AlgoHDRF, AlgoRestream and
-	// AlgoBuffered's fallback, and DNE's concurrent expanders. 0 resolves
-	// to GOMAXPROCS (DNE keeps its own default); 1 forces the exact
-	// sequential code path, which is the determinism guarantee — parallel
-	// placement depends on worker interleaving. Algorithms with no
-	// parallel path (order-sensitive streaming like ADWISE, the in-memory
-	// partitioners) reject Workers > 1 instead of silently running
-	// sequentially.
+	// parallel path, and it covers the whole pipeline, not just streaming:
+	// the exact-degree pre-pass and the sharded CSR build (AlgoHEP,
+	// AlgoHDRF, AlgoRestream, AlgoBuffered's degree pass), the sharded
+	// streaming engine behind AlgoHEP's informed phase, AlgoHDRF and
+	// AlgoRestream, AlgoBuffered's mini-CSR fill and per-edge fallback,
+	// and DNE's concurrent expanders. 0 resolves to GOMAXPROCS (DNE keeps
+	// its own default); 1 forces the exact sequential code path, which is
+	// the determinism guarantee — parallel placement (and the sharded
+	// build's within-segment adjacency order) depends on worker
+	// interleaving. Algorithms with no parallel path (order-sensitive
+	// streaming like ADWISE, the in-memory partitioners) reject
+	// Workers > 1 instead of silently running sequentially.
 	Workers int
 	// Window sizes ADWISE's edge buffer.
 	Window int

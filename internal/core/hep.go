@@ -37,9 +37,12 @@ type HEP struct {
 	Seed int64
 	// Tracer observes NE++ column-array accesses (paging simulation).
 	Tracer Tracer
-	// BuildWorkers > 1 builds the CSR with the concurrent two-pass
-	// builder (§7 future work: parallelism); results are identical to the
-	// sequential build.
+	// BuildWorkers > 1 builds the CSR with the sharded two-pass builder
+	// (BuildCSRSharded, §7 future work: parallelism): batch-parallel degree
+	// counting plus atomic slot claims. The build is adjacency-equivalent
+	// to the sequential one (same segments as sets, same E_h2h order), but
+	// within-segment entry order depends on worker interleaving, so — like
+	// Workers — bit-identical runs need BuildWorkers ≤ 1.
 	BuildWorkers int
 	// Workers > 1 runs the informed streaming phase (§3.3) through the
 	// parallel sharded engine (internal/shard): E_h2h is placed by that
@@ -79,13 +82,11 @@ func (h *HEP) params() (tau, alpha, lambda float64) {
 // over src), runs NE++, then streams E_h2h.
 func (h *HEP) Partition(src graph.EdgeStream, k int) (*part.Result, error) {
 	tau, _, _ := h.params()
-	var csr *graph.CSR
-	var err error
-	if h.BuildWorkers > 1 {
-		csr, err = graph.BuildCSRParallel(src, tau, h.H2HStore, h.BuildWorkers)
-	} else {
-		csr, err = graph.BuildCSR(src, tau, h.H2HStore)
+	bw := h.BuildWorkers
+	if bw < 1 {
+		bw = 1 // 0 keeps the sequential build (Resolve would mean all cores)
 	}
+	csr, err := BuildCSRSharded(src, tau, h.H2HStore, shard.Options{Workers: bw})
 	if err != nil {
 		return nil, err
 	}

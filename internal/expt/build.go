@@ -1,0 +1,91 @@
+package expt
+
+import (
+	"time"
+
+	"hep/internal/core"
+	"hep/internal/graph"
+	"hep/internal/ooc"
+	"hep/internal/shard"
+)
+
+// TableBuildRow is one (dataset, W) point of the pre-pass scaling table:
+// wall-clock per edge of the exact degree pass and the two-pass CSR build
+// through the batch engine, with speedups over the sequential passes.
+type TableBuildRow struct {
+	Dataset      string
+	Tau          float64
+	Workers      int // 1 = the sequential DegreePass / BuildCSR paths
+	DegNsEdge    float64
+	DegSpeedup   float64 // sequential degree-pass ns/edge ÷ this row's
+	BuildNsEdge  float64
+	BuildSpeedup float64 // sequential build ns/edge ÷ this row's
+}
+
+// TableBuild measures the parallel pre-passes (degree pass through reduction
+// lanes, CSR build with atomic slot claims) across worker counts on a
+// power-law stand-in — README's "Parallel pre-passes" table
+// (`hep-bench -exp build -workers 1,2,4,8`). Like the streaming scaling
+// table, speedup tracks the cores actually available: on a single-core host
+// W > 1 rows price only the engine overhead.
+func TableBuild(cfg Config) ([]TableBuildRow, error) {
+	const tau = 10.0
+	var rows []TableBuildRow
+	for _, name := range cfg.datasets("TW") {
+		g := cfg.build(name)
+		m := g.NumEdges()
+
+		// Sequential baselines always run once, so every row's speedup has a
+		// denominator even when the -workers list omits 1.
+		start := time.Now()
+		if _, _, err := ooc.DegreePass(g); err != nil {
+			return nil, err
+		}
+		seqDegNs := float64(time.Since(start).Nanoseconds()) / float64(m)
+		start = time.Now()
+		if _, err := graph.BuildCSR(g, tau, nil); err != nil {
+			return nil, err
+		}
+		seqBuildNs := float64(time.Since(start).Nanoseconds()) / float64(m)
+
+		for _, w := range cfg.workers(1, 2, 4, 8) {
+			degNs, buildNs := seqDegNs, seqBuildNs
+			if w > 1 {
+				opts := shard.Options{Workers: w}
+				start := time.Now()
+				if _, _, err := ooc.DegreePassParallel(g, opts); err != nil {
+					return nil, err
+				}
+				degNs = float64(time.Since(start).Nanoseconds()) / float64(m)
+				start = time.Now()
+				if _, err := core.BuildCSRSharded(g, tau, nil, opts); err != nil {
+					return nil, err
+				}
+				buildNs = float64(time.Since(start).Nanoseconds()) / float64(m)
+			}
+			rows = append(rows, TableBuildRow{
+				Dataset:      name,
+				Tau:          tau,
+				Workers:      w,
+				DegNsEdge:    degNs,
+				DegSpeedup:   speedup(seqDegNs, degNs),
+				BuildNsEdge:  buildNs,
+				BuildSpeedup: speedup(seqBuildNs, buildNs),
+			})
+		}
+	}
+	t := newTable(cfg.out(), "Parallel pre-passes (exact degree pass + sharded CSR build)")
+	t.row("graph", "tau", "W", "deg ns/edge", "deg speedup", "build ns/edge", "build speedup")
+	for _, r := range rows {
+		t.row(r.Dataset, r.Tau, r.Workers, r.DegNsEdge, r.DegSpeedup, r.BuildNsEdge, r.BuildSpeedup)
+	}
+	t.flush()
+	return rows, nil
+}
+
+func speedup(seqNs, ns float64) float64 {
+	if ns <= 0 {
+		return 0
+	}
+	return seqNs / ns
+}

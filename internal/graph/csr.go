@@ -3,6 +3,7 @@ package graph
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"hep/internal/bitset"
 )
@@ -117,6 +118,46 @@ func BuildCSR(src EdgeStream, tau float64, store H2HStore) (*CSR, error) {
 		return nil, loopErr
 	}
 
+	c := AssembleCSR(n, m, tau, outDeg, inDeg, deg, store)
+
+	// Second pass: fill segments; outSize/inSize double as fill cursors.
+	err = src.Edges(func(u, v V) bool {
+		uh, vh := c.high.Has(u), c.high.Has(v)
+		if uh && vh {
+			if e := c.h2h.Append(u, v); e != nil {
+				loopErr = e
+				return false
+			}
+			c.h2hLen++
+			return true
+		}
+		if !uh {
+			c.col[c.outIdx[u]+int64(c.outSize[u])] = v
+			c.outSize[u]++
+		}
+		if !vh {
+			c.col[c.inIdx[v]+int64(c.inSize[v])] = u
+			c.inSize[v]++
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if loopErr != nil {
+		return nil, loopErr
+	}
+	return c, nil
+}
+
+// AssembleCSR builds the sized-but-empty frame of a pruned CSR from the
+// first pass's per-vertex out/in-degree counts: it derives the mean degree
+// and the high-degree set, sizes the index and column arrays (high-degree
+// vertices get empty segments), and installs the H2H store (in-memory if
+// nil). The frame is what a second pass — sequential (BuildCSR) or
+// batch-parallel with atomic slot claims (core.BuildCSRSharded) — fills.
+// deg is adopted as the CSR's degree array, not copied.
+func AssembleCSR(n int, m int64, tau float64, outDeg, inDeg, deg []int32, store H2HStore) *CSR {
 	mean := MeanDegree(n, m)
 	high := bitset.New(n)
 	if !math.IsInf(tau, 1) {
@@ -154,35 +195,36 @@ func BuildCSR(src EdgeStream, tau float64, store H2HStore) (*CSR, error) {
 	}
 	c.outIdx[n] = off
 	c.col = make([]V, off)
+	return c
+}
 
-	// Second pass: fill segments; outSize/inSize double as fill cursors.
-	err = src.Edges(func(u, v V) bool {
-		uh, vh := high.Has(u), high.Has(v)
-		if uh && vh {
-			if e := c.h2h.Append(u, v); e != nil {
-				loopErr = e
-				return false
-			}
-			c.h2hLen++
-			return true
-		}
-		if !uh {
-			c.col[c.outIdx[u]+int64(c.outSize[u])] = v
-			c.outSize[u]++
-		}
-		if !vh {
-			c.col[c.inIdx[v]+int64(c.inSize[v])] = u
-			c.inSize[v]++
-		}
-		return true
-	})
-	if err != nil {
-		return nil, err
+// ClaimOut claims the next out-slot of u with an atomic cursor bump and
+// writes v there — the DNE-style slot claim concurrent fill workers use
+// during a parallel second pass (outSize doubles as the fill cursor, exactly
+// like the sequential builder, just bumped atomically). The segment was
+// sized by AssembleCSR, so a claim can never overrun it on the edge multiset
+// the first pass counted.
+func (c *CSR) ClaimOut(u, v V) {
+	pos := atomic.AddInt32(&c.outSize[u], 1) - 1
+	c.col[c.outIdx[u]+int64(pos)] = v
+}
+
+// ClaimIn claims the next in-slot of v and writes u there, like ClaimOut.
+func (c *CSR) ClaimIn(v, u V) {
+	pos := atomic.AddInt32(&c.inSize[v], 1) - 1
+	c.col[c.inIdx[v]+int64(pos)] = u
+}
+
+// SpillH2H appends an edge between two high-degree vertices to the H2H
+// store. Stores are not required to be concurrency-safe, so during a
+// parallel build only the ordered delivery goroutine may call this — which
+// also keeps the spill in exact stream order.
+func (c *CSR) SpillH2H(u, v V) error {
+	if err := c.h2h.Append(u, v); err != nil {
+		return err
 	}
-	if loopErr != nil {
-		return nil, loopErr
-	}
-	return c, nil
+	c.h2hLen++
+	return nil
 }
 
 // N returns the number of vertices.

@@ -40,7 +40,11 @@ func (e Edge) Canonical() Edge {
 type EdgeStream interface {
 	// NumVertices returns |V|; vertex ids are in [0, NumVertices).
 	NumVertices() int
-	// NumEdges returns |E|.
+	// NumEdges returns |E|, or 0 when the edge count is unknown up front
+	// (e.g. a stream opened without a discovery scan). Consumers deriving
+	// capacities, quotas or batch sizes from it must treat 0 as "count
+	// unknown", never as "empty": trusted totals travel as explicit
+	// parameters (totalM) or come from a counting pass.
 	NumEdges() int64
 	// Edges calls yield for every edge until the stream ends or yield
 	// returns false.

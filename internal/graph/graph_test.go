@@ -342,68 +342,53 @@ func TestCSRMemBytesAndSpans(t *testing.T) {
 	}
 }
 
-func TestParallelBuildMatchesSequential(t *testing.T) {
-	edges := randomSimpleEdges(9, 300, 2500)
-	g := NewMemGraph(300, edges)
+func TestAssembleCSRMatchesBuildCSRFrame(t *testing.T) {
+	// AssembleCSR is the shared sizing step of the sequential builder and
+	// the sharded builder (internal/core); claiming every slot sequentially
+	// against an assembled frame must reproduce BuildCSR exactly.
+	edges := randomSimpleEdges(7, 120, 700)
+	g := NewMemGraph(120, edges)
 	for _, tau := range []float64{math.Inf(1), 5, 1.2} {
 		seq, err := BuildCSR(g, tau, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
-		for _, workers := range []int{2, 3, 4} {
-			par, err := BuildCSRParallel(g, tau, nil, workers)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if par.M() != seq.M() || par.InMemEdges() != seq.InMemEdges() {
-				t.Fatalf("tau=%v workers=%d: edge counts differ", tau, workers)
-			}
-			for v := 0; v < 300; v++ {
-				so, po := seq.Out(V(v)), par.Out(V(v))
-				si, pi := seq.In(V(v)), par.In(V(v))
-				if len(so) != len(po) || len(si) != len(pi) {
-					t.Fatalf("tau=%v workers=%d v=%d: segment sizes differ", tau, workers, v)
+		outDeg := make([]int32, 120)
+		inDeg := make([]int32, 120)
+		deg := make([]int32, 120)
+		for _, e := range edges {
+			outDeg[e.U]++
+			inDeg[e.V]++
+			deg[e.U]++
+			deg[e.V]++
+		}
+		c := AssembleCSR(120, int64(len(edges)), tau, outDeg, inDeg, deg, nil)
+		for _, e := range edges {
+			uh, vh := c.IsHigh(e.U), c.IsHigh(e.V)
+			if uh && vh {
+				if err := c.SpillH2H(e.U, e.V); err != nil {
+					t.Fatal(err)
 				}
-				for i := range so {
-					if so[i] != po[i] {
-						t.Fatalf("tau=%v workers=%d v=%d: out entry %d differs", tau, workers, v, i)
-					}
-				}
-				for i := range si {
-					if si[i] != pi[i] {
-						t.Fatalf("tau=%v workers=%d v=%d: in entry %d differs", tau, workers, v, i)
-					}
-				}
+				continue
 			}
-			var seqH2H, parH2H []Edge
-			seq.H2H().Edges(func(u, v V) bool { seqH2H = append(seqH2H, Edge{U: u, V: v}); return true })
-			par.H2H().Edges(func(u, v V) bool { parH2H = append(parH2H, Edge{U: u, V: v}); return true })
-			if len(seqH2H) != len(parH2H) {
-				t.Fatalf("tau=%v workers=%d: h2h lengths differ", tau, workers)
+			if !uh {
+				c.ClaimOut(e.U, e.V)
 			}
-			for i := range seqH2H {
-				if seqH2H[i] != parH2H[i] {
-					t.Fatalf("tau=%v workers=%d: h2h order differs at %d", tau, workers, i)
-				}
+			if !vh {
+				c.ClaimIn(e.V, e.U)
+			}
+		}
+		if c.M() != seq.M() || c.InMemEdges() != seq.InMemEdges() || c.ColLen() != seq.ColLen() {
+			t.Fatalf("tau=%v: frame totals differ", tau)
+		}
+		for v := 0; v < 120; v++ {
+			if len(c.Out(V(v))) != len(seq.Out(V(v))) || len(c.In(V(v))) != len(seq.In(V(v))) {
+				t.Fatalf("tau=%v v=%d: segment sizes differ", tau, v)
+			}
+			if c.IsHigh(V(v)) != seq.IsHigh(V(v)) || c.Degree(V(v)) != seq.Degree(V(v)) {
+				t.Fatalf("tau=%v v=%d: pruning state differs", tau, v)
 			}
 		}
 	}
 }
 
-func TestParallelBuildOneWorkerDelegates(t *testing.T) {
-	g := NewMemGraph(4, []Edge{{U: 0, V: 1}})
-	c, err := BuildCSRParallel(g, 10, nil, 1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if c.M() != 1 {
-		t.Fatal("delegation broken")
-	}
-}
-
-func TestParallelBuildRejectsSelfLoop(t *testing.T) {
-	g := NewMemGraph(4, []Edge{{U: 2, V: 2}})
-	if _, err := BuildCSRParallel(g, 10, nil, 2); err == nil {
-		t.Fatal("self-loop accepted")
-	}
-}

@@ -3,6 +3,8 @@ package ooc
 import (
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"hep/internal/graph"
 	"hep/internal/part"
@@ -188,6 +190,16 @@ func (st *batchState) bytes() int64 {
 // seedScanLimit bounds the affinity scan of the active list per seed choice.
 const seedScanLimit = 64
 
+// workersOrOne clamps the Workers knob for pre-pass fan-out: the zero value
+// historically means sequential here (unlike shard.Options, whose 0 resolves
+// to all cores).
+func (b *Buffered) workersOrOne() int {
+	if b.Workers < 1 {
+		return 1
+	}
+	return b.Workers
+}
+
 // Partition implements part.Algorithm: an exact chunked degree pass, then
 // buffer-fill / expand / flush over the stream.
 func (b *Buffered) Partition(src graph.EdgeStream, k int) (*part.Result, error) {
@@ -197,7 +209,10 @@ func (b *Buffered) Partition(src graph.EdgeStream, k int) (*part.Result, error) 
 	bufEdges, lambda, alpha := b.params()
 	b.LastStats = BufferedStats{}
 
-	deg, m, err := DegreePass(src)
+	// Exact chunked degree pass; with Workers > 1 it fans out through the
+	// batch engine's reduction lanes (bit-identical output, see
+	// DegreePassParallel).
+	deg, m, err := DegreePassParallel(src, shard.Options{Workers: b.workersOrOne()})
 	if err != nil {
 		return nil, err
 	}
@@ -275,12 +290,16 @@ func (b *Buffered) processBatch(st *batchState, localID []int32, res *part.Resul
 		sum += st.udeg[v]
 		st.off[v] = sum - st.udeg[v]
 	}
-	for i := range batch {
-		lu, lv := localID[batch[i].U], localID[batch[i].V]
-		st.adjV[st.off[lu]], st.adjE[st.off[lu]] = lv, int32(i)
-		st.off[lu]++
-		st.adjV[st.off[lv]], st.adjE[st.off[lv]] = lu, int32(i)
-		st.off[lv]++
+	if w := b.workersOrOne(); w > 1 && len(batch) >= parallelFillMin {
+		b.fillAdjacencyParallel(st, localID, w)
+	} else {
+		for i := range batch {
+			lu, lv := localID[batch[i].U], localID[batch[i].V]
+			st.adjV[st.off[lu]], st.adjE[st.off[lu]] = lv, int32(i)
+			st.off[lu]++
+			st.adjV[st.off[lv]], st.adjE[st.off[lv]] = lu, int32(i)
+			st.off[lv]++
+		}
 	}
 
 	// Active list: every batch vertex starts with unassigned edges.
@@ -483,6 +502,44 @@ func (st *batchState) pickSeed(res *part.Result, p int) int32 {
 		return bestHit
 	}
 	return bestAny
+}
+
+// parallelFillMin is the batch size below which the sequential mini-CSR
+// adjacency fill beats fanning out claim goroutines.
+const parallelFillMin = 1 << 14
+
+// fillAdjacencyParallel is the concurrent form of the mini-CSR adjacency
+// fill: the batch is split into contiguous ranges and each worker claims
+// slots with atomic cursor bumps on the offset array — the same DNE-style
+// claim discipline as core.BuildCSRSharded's second pass. Segment contents
+// match the sequential fill as sets; within-segment order depends on worker
+// interleaving, which is covered by the Workers > 1 nondeterminism contract.
+func (b *Buffered) fillAdjacencyParallel(st *batchState, localID []int32, workers int) {
+	batch := st.batch
+	chunk := (len(batch) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= len(batch) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(batch) {
+			hi = len(batch)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				lu, lv := localID[batch[i].U], localID[batch[i].V]
+				su := atomic.AddInt32(&st.off[lu], 1) - 1
+				st.adjV[su], st.adjE[su] = lv, int32(i)
+				sv := atomic.AddInt32(&st.off[lv], 1) - 1
+				st.adjV[sv], st.adjE[sv] = lu, int32(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
 }
 
 // defaultParallelFallbackMin is the leftover-edge count below which the

@@ -54,14 +54,23 @@ func (r *Restream) Partition(src graph.EdgeStream, k int) (*part.Result, error) 
 	if alpha == 0 {
 		alpha = 1.05
 	}
-	deg, m, err := graph.Degrees(src)
+	opts := shard.Options{Workers: r.Workers}
+	parallel := r.Workers > 1
+
+	// Exact-degree pre-pass; with Workers > 1 it fans out through the same
+	// batch engine as the streaming passes (bit-identical folded output).
+	var deg []int32
+	var m int64
+	var err error
+	if parallel {
+		deg, m, err = shard.Degrees(src, opts)
+	} else {
+		deg, m, err = graph.Degrees(src)
+	}
 	if err != nil {
 		return nil, err
 	}
 	n := src.NumVertices()
-
-	opts := shard.Options{Workers: r.Workers}
-	parallel := r.Workers > 1
 
 	// Pass 1: plain streamed HDRF with exact degrees.
 	res := part.NewResult(n, k)

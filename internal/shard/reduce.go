@@ -1,0 +1,228 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"hep/internal/graph"
+)
+
+// This file is the reduction side of the batch engine: per-worker
+// accumulator lanes for commutative folds (the load-delta discipline of
+// ShardedLoads generalized to arbitrary int32/int64 arrays) and the exact
+// degree pre-pass built on top of them. A pre-pass worker adds deltas into
+// its own lane on the hot path — single writer, no synchronization — and
+// folds the lane into the mutex-guarded global array at batch boundaries.
+// Because addition commutes, the folded result is bit-identical to the
+// sequential pass whatever the worker interleaving, which is what lets the
+// degree pass and the CSR build's counting pass fan out without giving up
+// their exact-output contracts.
+
+// ErrOverflow is returned by a lane fold whose global accumulator would wrap
+// (e.g. an int32 degree count exceeding MaxInt32 on a pathological
+// multigraph). Wrapping silently would corrupt every downstream consumer of
+// the folded array, so the fold detects it and fails the pass instead.
+var ErrOverflow = errors.New("shard: accumulator overflow in lane fold")
+
+// Accum is the element type of a reduction lane.
+type Accum interface {
+	~int32 | ~int64
+}
+
+// Lanes is a set of per-worker accumulator arrays folded into one global
+// array. Add is lock-free (single writer per lane); Fold merges one lane
+// under a mutex, touching only the index window the lane dirtied since its
+// last fold, so folding at every batch boundary costs O(window), not O(n).
+// Arrays grow on demand, which lets passes over count-less streams discover
+// the index domain as they go.
+type Lanes[T Accum] struct {
+	mu     sync.Mutex
+	global []T
+	lanes  []lane[T]
+}
+
+type lane[T Accum] struct {
+	acc    []T
+	lo, hi int // dirty index window [lo, hi) since the last fold
+}
+
+// NewLanes returns lanes for w workers over an initial domain of n indices.
+func NewLanes[T Accum](w, n int) *Lanes[T] {
+	l := &Lanes[T]{global: make([]T, n), lanes: make([]lane[T], w)}
+	for i := range l.lanes {
+		l.lanes[i] = lane[T]{acc: make([]T, n), lo: n}
+	}
+	return l
+}
+
+// Add accumulates d at index i in worker w's lane, growing the lane if i is
+// beyond its current domain. Only worker w may call it.
+func (l *Lanes[T]) Add(w, i int, d T) {
+	ln := &l.lanes[w]
+	if i >= len(ln.acc) {
+		ln.acc = append(ln.acc, make([]T, i+1-len(ln.acc))...)
+	}
+	ln.acc[i] += d
+	if i < ln.lo {
+		ln.lo = i
+	}
+	if i >= ln.hi {
+		ln.hi = i + 1
+	}
+}
+
+// Fold merges worker w's dirty window into the global array and clears it.
+// Deltas are required to be non-negative (counting folds); a merge that
+// would wrap the accumulator returns ErrOverflow.
+func (l *Lanes[T]) Fold(w int) error {
+	ln := &l.lanes[w]
+	if ln.hi <= ln.lo {
+		return nil
+	}
+	l.mu.Lock()
+	if len(l.global) < len(ln.acc) {
+		l.global = append(l.global, make([]T, len(ln.acc)-len(l.global))...)
+	}
+	var err error
+	for i := ln.lo; i < ln.hi; i++ {
+		d := ln.acc[i]
+		if d == 0 {
+			continue
+		}
+		ln.acc[i] = 0
+		s := l.global[i] + d
+		if d > 0 && s < l.global[i] {
+			err = fmt.Errorf("%w: index %d", ErrOverflow, i)
+			break
+		}
+		l.global[i] = s
+	}
+	l.mu.Unlock()
+	ln.lo, ln.hi = len(ln.acc), 0
+	return err
+}
+
+// Drain folds every lane and returns the global array. Call once, after all
+// workers have stopped; it catches any deltas a worker accumulated after its
+// last batch-boundary fold.
+func (l *Lanes[T]) Drain() ([]T, error) {
+	for w := range l.lanes {
+		if err := l.Fold(w); err != nil {
+			return nil, err
+		}
+	}
+	return l.global, nil
+}
+
+// AbortStream wraps a stream so a concurrent consumer — a pre-pass worker
+// that hit a validation error, the ordered collector on a spill failure —
+// can stop the dispatcher's scan early: once Stop is set, Edges yields no
+// further edges instead of scanning the rest of a possibly multi-gigabyte
+// stream. The engine then drains its in-flight batches normally and the
+// recorded error surfaces, matching the prompt-failure behavior of the
+// sequential passes (whose yield returns false at the first bad edge).
+type AbortStream struct {
+	graph.EdgeStream
+	Stop *atomic.Bool
+}
+
+// Edges implements graph.EdgeStream.
+func (s AbortStream) Edges(yield func(u, v graph.V) bool) error {
+	return s.EdgeStream.Edges(func(u, v graph.V) bool {
+		return !s.Stop.Load() && yield(u, v)
+	})
+}
+
+// degreeWorker is one lane of the parallel exact-degree pre-pass: every edge
+// of a batch adds 1 to both endpoints in the worker's lane, and the lane
+// folds at the batch boundary. n ≥ 0 fixes the vertex domain (ids beyond it
+// are an error, the graph.Degrees contract); n < 0 discovers the domain on
+// the fly (the ooc.DegreePass contract).
+type degreeWorker struct {
+	id    int
+	lanes *Lanes[int32]
+	n     int
+	stop  *atomic.Bool
+	err   error
+}
+
+// fail records the worker's first error and aborts the dispatcher's scan.
+func (w *degreeWorker) fail(err error) {
+	w.err = err
+	w.stop.Store(true)
+}
+
+// PlaceBatch implements BatchPlacer. The parts buffer is untouched — a
+// pre-pass produces no placements, only folded lane state.
+func (w *degreeWorker) PlaceBatch(edges []graph.Edge, parts []int32) {
+	if w.err != nil {
+		return
+	}
+	for i := range edges {
+		u, v := edges[i].U, edges[i].V
+		if w.n >= 0 && (int(u) >= w.n || int(v) >= w.n) {
+			w.fail(fmt.Errorf("%w: edge (%d,%d) with n=%d", graph.ErrVertexRange, u, v, w.n))
+			return
+		}
+		w.lanes.Add(w.id, int(u), 1)
+		w.lanes.Add(w.id, int(v), 1)
+	}
+	if err := w.lanes.Fold(w.id); err != nil {
+		w.fail(err)
+	}
+}
+
+// Degrees is graph.Degrees through the batch engine: exact total degrees
+// over a fixed vertex domain, computed by opts.Resolve() workers folding
+// per-worker lanes at batch boundaries. The output is bit-identical to the
+// sequential pass (addition commutes); vertex ids at or beyond
+// src.NumVertices() return graph.ErrVertexRange like the sequential pass.
+func Degrees(src graph.EdgeStream, opts Options) ([]int32, int64, error) {
+	return degreePass(src, src.NumVertices(), false, opts)
+}
+
+// DegreesGrow is the discovery form of Degrees: the degree array starts at
+// src.NumVertices() entries and grows to max id + 1 as the stream yields
+// larger ids — the out-of-core degree-pass contract for streams opened
+// without vertex-count discovery.
+func DegreesGrow(src graph.EdgeStream, opts Options) ([]int32, int64, error) {
+	return degreePass(src, src.NumVertices(), true, opts)
+}
+
+func degreePass(src graph.EdgeStream, n int, grow bool, opts Options) ([]int32, int64, error) {
+	workers := opts.Resolve()
+	if workers < 1 {
+		workers = 1
+	}
+	lanes := NewLanes[int32](workers, n)
+	domain := n
+	if grow {
+		domain = -1
+	}
+	var stop atomic.Bool
+	ws := make([]BatchPlacer, workers)
+	dws := make([]*degreeWorker, workers)
+	for i := range ws {
+		dw := &degreeWorker{id: i, lanes: lanes, n: domain, stop: &stop}
+		ws[i], dws[i] = dw, dw
+	}
+	var m int64
+	err := Run(AbortStream{EdgeStream: src, Stop: &stop}, ws, opts.BatchEdges, func(edges []graph.Edge, parts []int32) {
+		m += int64(len(edges))
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	for _, dw := range dws {
+		if dw.err != nil {
+			return nil, 0, dw.err
+		}
+	}
+	deg, err := lanes.Drain()
+	if err != nil {
+		return nil, 0, err
+	}
+	return deg, m, nil
+}

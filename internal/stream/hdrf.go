@@ -56,11 +56,14 @@ func (h *HDRF) Partition(src graph.EdgeStream, k int) (*part.Result, error) {
 	capacity := capFor(alpha, src.NumEdges(), k)
 
 	if h.Workers > 1 {
-		deg, m, err := graph.Degrees(src)
+		opts := shard.Options{Workers: h.Workers, BatchEdges: h.BatchEdges}
+		// The exact-degree pre-pass fans out through the same engine the
+		// placement pass uses; its folded output is bit-identical to
+		// graph.Degrees.
+		deg, m, err := shard.Degrees(src, opts)
 		if err != nil {
 			return nil, err
 		}
-		opts := shard.Options{Workers: h.Workers, BatchEdges: h.BatchEdges}
 		if err := RunHDRFParallel(src, res, deg, lambda, alpha, m, opts); err != nil {
 			return nil, err
 		}
@@ -69,11 +72,16 @@ func (h *HDRF) Partition(src graph.EdgeStream, k int) (*part.Result, error) {
 
 	var deg []int32
 	if h.ExactDegrees {
+		var m int64
 		var err error
-		deg, _, err = graph.Degrees(src)
+		deg, m, err = graph.Degrees(src)
 		if err != nil {
 			return nil, err
 		}
+		// The pre-pass counted the exact m, so a count-less stream
+		// (NumEdges() == 0) still gets the real α·m/k bound here — the
+		// same capacity the Workers > 1 path enforces.
+		capacity = capFor(alpha, m, k)
 	} else {
 		deg = make([]int32, n)
 	}

@@ -114,7 +114,10 @@ func RunHDRFParallel(src graph.EdgeStream, res *part.Result, deg []int32, lambda
 	if workers <= 1 {
 		return RunHDRF(src, res, deg, lambda, alpha, totalM)
 	}
-	opts.BatchEdges = adaptiveBatch(src.NumEdges(), workers, opts.BatchEdges)
+	// Size batches from totalM, never src.NumEdges(): a count-less stream
+	// (NumEdges() == 0, count unknown) would collapse the batch to the 256
+	// floor and pay ~16× the per-batch synchronization on large streams.
+	opts.BatchEdges = adaptiveBatch(totalM, workers, opts.BatchEdges)
 	capacity := capFor(alpha, totalM, res.K)
 	sh := res.Shared(workers)
 	defer sh.Finish()
@@ -138,7 +141,9 @@ func RunHDRFWithStateParallel(src graph.EdgeStream, res, state *part.Result, deg
 	if workers <= 1 {
 		return RunHDRFWithState(src, res, state, deg, lambda, alpha, totalM)
 	}
-	opts.BatchEdges = adaptiveBatch(src.NumEdges(), workers, opts.BatchEdges)
+	// Like RunHDRFParallel: batches size from the trusted totalM, not a
+	// possibly count-less stream.
+	opts.BatchEdges = adaptiveBatch(totalM, workers, opts.BatchEdges)
 	capacity := capFor(alpha, totalM, res.K)
 	sh := res.Shared(workers)
 	defer sh.Finish()

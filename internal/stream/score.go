@@ -32,7 +32,18 @@ const DefaultLambda = 1.1
 
 // capFor returns the per-partition capacity bound ⌈α·m/k⌉ used by the
 // balance constraint of §2. α must be ≥ 1 for the bound to be feasible.
+//
+// m ≤ 0 means the edge count is unknown (graph.EdgeStream's NumEdges() == 0
+// contract — e.g. a discovery-skipped out-of-core stream) and the capacity
+// is unbounded: a literal ⌈α·0/k⌉ = 0 would make every partition "full", so
+// the scorers would return -1 for every edge and HDRF/Greedy/ADWISE would
+// silently degrade to balance-only ArgMin placement. With no hard bound the
+// λ balance term still keeps loads even, which is the reference HDRF
+// behavior (it has no capacity constraint at all).
 func capFor(alpha float64, m int64, k int) int64 {
+	if m <= 0 {
+		return math.MaxInt64
+	}
 	if alpha < 1 {
 		alpha = 1
 	}

@@ -1,11 +1,14 @@
 package stream
 
 import (
+	"math"
 	"testing"
 
 	"hep/internal/gen"
 	"hep/internal/graph"
 	"hep/internal/part"
+	"hep/internal/parttest"
+	"hep/internal/shard"
 )
 
 func TestHDRFPrefersReplicaOverlap(t *testing.T) {
@@ -222,5 +225,152 @@ func TestHash32Avalanche(t *testing.T) {
 		if c < 50 || c > 200 {
 			t.Fatalf("bucket %d holds %d of 1000", b, c)
 		}
+	}
+}
+
+// countless wraps a stream and reports an unknown edge count — the
+// graph.EdgeStream "NumEdges() == 0 means count unknown" contract (e.g. an
+// out-of-core stream opened without a discovery scan).
+type countless struct{ graph.EdgeStream }
+
+func (c countless) NumEdges() int64 { return 0 }
+
+func TestCapForUnknownCountIsUnbounded(t *testing.T) {
+	if got := capFor(1.05, 0, 4); got != math.MaxInt64 {
+		t.Fatalf("capFor(m=0) = %d, want unbounded", got)
+	}
+	if got := capFor(1.05, -3, 4); got != math.MaxInt64 {
+		t.Fatalf("capFor(m<0) = %d, want unbounded", got)
+	}
+	if got := capFor(1.0, 100, 4); got != 25 {
+		t.Fatalf("capFor(m=100) = %d, want 25", got)
+	}
+}
+
+// TestCountlessStreamNoDegradation is the capacity-zero regression pin: with
+// the old capFor, a count-less stream yielded capacity 0, every scorer
+// returned -1, and HDRF/Greedy/ADWISE silently collapsed to balance-only
+// Loads.ArgMin() placement. After the fix each scorer must stay far below
+// that degraded replication factor while keeping every validity contract
+// (exactly-once sink, consistent replicas).
+func TestCountlessStreamNoDegradation(t *testing.T) {
+	g := gen.MustDataset("OK").Build(0.05)
+	const k = 8
+
+	// Reproduce the pre-fix failure mode: pure least-loaded placement.
+	degraded := part.NewResult(g.NumVertices(), k)
+	g.Edges(func(u, v graph.V) bool {
+		degraded.Assign(u, v, degraded.Loads.ArgMin())
+		return true
+	})
+	degradedRF := degraded.ReplicationFactor()
+
+	for _, tc := range []struct {
+		name string
+		algo part.Algorithm
+	}{
+		{"hdrf", &HDRF{}},
+		{"greedy", &Greedy{}},
+		{"adwise", &ADWISE{Window: 16}},
+	} {
+		res, err := parttest.RunAndCheck(tc.algo, countless{g}, k, 0, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		rf := res.ReplicationFactor()
+		t.Logf("%s: countless RF %.3f vs degraded %.3f", tc.name, rf, degradedRF)
+		if rf > degradedRF*0.9 {
+			t.Errorf("%s: countless-stream RF %.3f within 10%% of balance-only %.3f — capacity collapse is back",
+				tc.name, rf, degradedRF)
+		}
+	}
+}
+
+// TestHDRFCountlessMatchesCounted pins the count-less run to the counted one
+// bit-for-bit: on a stream where the α·m/k bound never binds (the balance
+// term keeps loads well inside it), unknown-count capacity (unbounded) and
+// known-count capacity must place every edge identically.
+func TestHDRFCountlessMatchesCounted(t *testing.T) {
+	g := gen.MustDataset("OK").Build(0.05)
+	for _, exact := range []bool{false, true} {
+		run := func(src graph.EdgeStream) []part.TaggedEdge {
+			col := &part.Collect{}
+			h := &HDRF{ExactDegrees: exact}
+			h.SetSink(col)
+			if _, err := h.Partition(src, 8); err != nil {
+				t.Fatal(err)
+			}
+			return col.Edges
+		}
+		counted, unknown := run(g), run(countless{g})
+		if len(counted) != len(unknown) {
+			t.Fatalf("exact=%v: lengths differ: %d vs %d", exact, len(counted), len(unknown))
+		}
+		for i := range counted {
+			if counted[i] != unknown[i] {
+				t.Fatalf("exact=%v: assignment %d differs: counted %v vs count-less %v",
+					exact, i, counted[i], unknown[i])
+			}
+		}
+	}
+}
+
+// TestAdaptiveBatchUsesTrustedTotal documents why the parallel runners size
+// batches from the trusted totalM parameter: an unknown stream count (0)
+// collapses the batch to the 256 floor, inflating per-batch synchronization
+// ~16× against the 4096 cap on large streams.
+func TestAdaptiveBatchUsesTrustedTotal(t *testing.T) {
+	if b := adaptiveBatch(0, 8, 0); b != 256 {
+		t.Fatalf("adaptiveBatch(unknown) = %d, want the 256 floor", b)
+	}
+	if b := adaptiveBatch(1<<20, 8, 0); b != (1<<20)/(50*8) {
+		t.Fatalf("adaptiveBatch(1Mi) = %d, want %d", b, (1<<20)/(50*8))
+	}
+	if b := adaptiveBatch(1<<30, 8, 0); b != shard.DefaultBatchEdges {
+		t.Fatalf("adaptiveBatch(1Gi) = %d, want cap %d", b, shard.DefaultBatchEdges)
+	}
+	if b := adaptiveBatch(1<<30, 8, 123); b != 123 {
+		t.Fatalf("explicit batch overridden: %d", b)
+	}
+}
+
+// TestRunHDRFParallelCountlessStream runs the parallel engine over a
+// count-less stream with the trusted total passed explicitly: every edge is
+// delivered exactly once in stream order and quality stays within the
+// engine's tolerance of the counted sequential run.
+func TestRunHDRFParallelCountlessStream(t *testing.T) {
+	g := gen.MustDataset("OK").Build(0.05)
+	deg, m, err := graph.Degrees(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 8
+
+	seq := part.NewResult(g.NumVertices(), k)
+	if err := RunHDRF(g, seq, deg, DefaultLambda, 1.05, m); err != nil {
+		t.Fatal(err)
+	}
+
+	res := part.NewResult(g.NumVertices(), k)
+	col := &part.Collect{}
+	res.Sink = col
+	err = RunHDRFParallel(countless{g}, res, deg, DefaultLambda, 1.05, m,
+		shard.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.M != m {
+		t.Fatalf("assigned %d of %d edges", res.M, m)
+	}
+	if err := res.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range col.Edges {
+		if col.Edges[i].E != g.E[i] {
+			t.Fatalf("sink delivery %d = %v, stream had %v", i, col.Edges[i].E, g.E[i])
+		}
+	}
+	if rf, srf := res.ReplicationFactor(), seq.ReplicationFactor(); rf > srf*1.02 {
+		t.Errorf("count-less parallel RF %.4f > sequential %.4f + 2%%", rf, srf)
 	}
 }
