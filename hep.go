@@ -122,8 +122,10 @@ type Config struct {
 	// the exact-degree pre-pass and the sharded CSR build (AlgoHEP,
 	// AlgoHDRF, AlgoRestream, AlgoBuffered's degree pass), the sharded
 	// streaming engine behind AlgoHEP's informed phase, AlgoHDRF and
-	// AlgoRestream, AlgoBuffered's mini-CSR fill and per-edge fallback,
-	// and DNE's concurrent expanders. 0 resolves to GOMAXPROCS (DNE keeps
+	// AlgoRestream, AlgoBuffered's mini-CSR fill, its region expansion
+	// (up to Workers concurrent expanders per batch, DNE-style CAS edge
+	// claims) and its per-edge fallback, and DNE's own concurrent
+	// expanders. 0 resolves to GOMAXPROCS (DNE keeps
 	// its own default); 1 forces the exact sequential code path, which is
 	// the determinism guarantee — parallel placement (and the sharded
 	// build's within-segment adjacency order) depends on worker
@@ -337,9 +339,24 @@ func FitBudget(src EdgeStream, cfg Config) (Config, error) {
 		}
 		cfg.Tau = tau
 	case AlgoBuffered:
-		fit := ooc.BufferForBudget(cfg.MemBudget)
+		// Concurrent region expansion charges per-expander batch state, so
+		// the buffer is sized for the resolved worker count — a parallel run
+		// under a budget gets a smaller buffer, never a broken bound. The
+		// expander count is capped at K (ooc never runs more), so a
+		// many-core host with small K is not undersized for state it could
+		// never allocate.
+		workers := shardWorkers(cfg)
+		if workers > cfg.K {
+			workers = cfg.K
+		}
+		fit := ooc.BufferForBudgetWorkers(cfg.MemBudget, workers)
 		if fit < 1 {
-			return cfg, fmt.Errorf("hep: budget %d bytes below one buffered edge (%d bytes)", cfg.MemBudget, ooc.BytesPerBufferedEdge)
+			perEdge := ooc.BytesPerBufferedEdge
+			if workers > 1 {
+				perEdge += (workers - 1) * ooc.BytesPerExpanderEdge
+			}
+			return cfg, fmt.Errorf("hep: budget %d bytes below one buffered edge (%d bytes at %d workers)",
+				cfg.MemBudget, perEdge, workers)
 		}
 		if cfg.Buffer == 0 || cfg.Buffer > fit {
 			cfg.Buffer = fit

@@ -43,12 +43,13 @@ type DNE struct {
 // Name implements part.Algorithm.
 func (d *DNE) Name() string { return "DNE" }
 
-// claim values: 0 = unclaimed, p+1 = claimed by partition p.
+// shared is the expanders' common state; edge ownership lives in the Claims
+// array (0 = unclaimed, p+1 = claimed by partition p).
 type shared struct {
 	edges  []graph.Edge
 	adjIdx []int64
 	adjEid []int32
-	claim  []atomic.Int32
+	claim  *Claims
 	counts []atomic.Int64
 	bound  int64
 	k      int
@@ -90,7 +91,7 @@ func (d *DNE) Partition(src graph.EdgeStream, k int) (*part.Result, error) {
 		edges:  edges,
 		adjIdx: make([]int64, n+1),
 		adjEid: make([]int32, 2*m),
-		claim:  make([]atomic.Int32, m),
+		claim:  NewClaims(int(m)),
 		counts: make([]atomic.Int64, k),
 		bound:  int64(bf*float64(m)/float64(k)) + 1,
 		k:      k,
@@ -156,15 +157,15 @@ func (d *DNE) Partition(src graph.EdgeStream, k int) (*part.Result, error) {
 
 	// Sweep: any unclaimed edge (expanders exhausted or capacity-bounded)
 	// goes to the currently least-loaded partition.
-	for eid := range sh.claim {
-		if sh.claim[eid].Load() == 0 {
+	for eid := 0; eid < sh.claim.Len(); eid++ {
+		if !sh.claim.Claimed(eid) {
 			best := 0
 			for p := 1; p < k; p++ {
 				if sh.counts[p].Load() < sh.counts[best].Load() {
 					best = p
 				}
 			}
-			sh.claim[eid].Store(int32(best + 1))
+			sh.claim.Assign(eid, int32(best))
 			sh.counts[best].Add(1)
 		}
 	}
@@ -173,7 +174,7 @@ func (d *DNE) Partition(src graph.EdgeStream, k int) (*part.Result, error) {
 	res := part.NewResult(n, k)
 	res.Sink = d.Sink
 	for eid, e := range edges {
-		res.Assign(e.U, e.V, int(sh.claim[eid].Load()-1))
+		res.Assign(e.U, e.V, int(sh.claim.Owner(eid)))
 	}
 	return res, nil
 }
@@ -237,7 +238,7 @@ func (e *expander) moveToCore(v graph.V) {
 	e.core.Set(v)
 	adj := e.sh.adjEid[e.sh.adjIdx[v]:e.sh.adjIdx[v+1]]
 	for _, eid := range adj {
-		if e.sh.claim[eid].Load() != 0 {
+		if e.sh.claim.Claimed(int(eid)) {
 			continue
 		}
 		ed := e.sh.edges[eid]
@@ -249,7 +250,7 @@ func (e *expander) moveToCore(v graph.V) {
 			e.moveToSecondary(u)
 		}
 		// Claim the edge for this partition if still free.
-		if e.sh.claim[eid].CompareAndSwap(0, int32(e.p+1)) {
+		if e.sh.claim.TryClaim(int(eid), int32(e.p)) {
 			e.sh.counts[e.p].Add(1)
 		}
 	}
@@ -263,7 +264,7 @@ func (e *expander) moveToSecondary(v graph.V) {
 	var dext int32
 	adj := e.sh.adjEid[e.sh.adjIdx[v]:e.sh.adjIdx[v+1]]
 	for _, eid := range adj {
-		if e.sh.claim[eid].Load() == 0 {
+		if !e.sh.claim.Claimed(int(eid)) {
 			dext++
 		}
 	}

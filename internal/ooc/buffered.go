@@ -6,36 +6,60 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"hep/internal/dne"
 	"hep/internal/graph"
 	"hep/internal/part"
+	"hep/internal/pstate"
 	"hep/internal/shard"
 	"hep/internal/stream"
-	"hep/internal/vheap"
 )
 
-// DefaultBufferEdges is the default batch size B (1Mi edges ≈ 112 MiB of
-// batch-local state, see BytesPerBufferedEdge).
+// DefaultBufferEdges is the default batch size B (1Mi edges ≈ 152 MiB of
+// batch-local state at one expander, see BytesPerBufferedEdge).
 const DefaultBufferEdges = 1 << 20
 
 // BytesPerBufferedEdge is the worst-case batch-local allocation per buffered
-// edge. Per edge: the edge itself (8) + two adjacency entries (adjV+adjE,
-// 2×8) + an assigned flag (1) + the parallel fallback's gather buffer (8,
+// edge with a single expander. Per edge: the edge itself (8) + two adjacency
+// entries (adjV+adjE, 2×8) + an assigned flag (1) + a claim slot (4,
 // allocated only when Workers > 1 but charged always so the budget bound
-// holds in every mode) = 33 bytes. Per batch vertex, of which an edge
-// introduces at most two: verts (4) + off (4) + udeg (4) + activePos (4) +
-// member (1) + active (4) + touched (4) + warm (4) + heap pos/ids/keys
-// (4+4+4) = 41 bytes. Total 33 + 2·41 = 115, rounded up to 120 for slack.
-// batchState.bytes() tracks the real allocation against this bound.
-// Vertex-indexed *global* state (degree array, local-id map, vertex-major
-// replica table) is O(|V|), independent of the buffer size; it is the fixed
-// resident baseline of the out-of-core model, not part of the buffer budget.
-const BytesPerBufferedEdge = 120
+// holds in every mode) + the parallel fallback's gather buffer (8, same
+// rule) = 37 bytes. Per batch vertex, of which an edge introduces at most
+// two: verts (4) + off (4) + udeg (4) + activePos (4) + active (4) + warm
+// bucket pool (warmPoolPerVertex×4 = 12) + overflow (4) = 36, plus the
+// expander state (member 1 + touched 4 + heap pos/ids/keys 12 + candidate
+// buffer 4 = 21) = 57 bytes. Total 37 + 2·57 = 151, rounded up to 152 for
+// slack. batchState.bytes() tracks the real allocation against this bound.
+// State that does not scale with the buffer — the O(|V|) vertex arrays
+// (degree array, local-id map, vertex-major replica table) and the O(k)
+// per-partition arrays (bucket heads, region flags, like the result's own
+// counts) — is the fixed resident baseline of the out-of-core model, not
+// part of the buffer budget.
+const BytesPerBufferedEdge = 152
+
+// BytesPerExpanderEdge is the additional worst-case batch-local allocation
+// per buffered edge for each expander goroutine beyond the first: two batch
+// vertices × (member 1 + touched 4 + heap 12 + candidates 4) = 42 bytes,
+// rounded up to 44. Concurrent region expansion (Workers > 1) runs up to
+// Workers expanders; BufferForBudgetWorkers folds this into the sizing.
+const BytesPerExpanderEdge = 44
 
 // BufferForBudget returns the largest buffer size B whose worst-case
-// batch-local allocation fits budgetBytes (capped so the batch-local int32
-// bookkeeping cannot overflow).
+// batch-local allocation fits budgetBytes with a single expander (capped so
+// the batch-local int32 bookkeeping cannot overflow).
 func BufferForBudget(budgetBytes int64) int {
-	b := budgetBytes / BytesPerBufferedEdge
+	return BufferForBudgetWorkers(budgetBytes, 1)
+}
+
+// BufferForBudgetWorkers is BufferForBudget for a run with w concurrent
+// expanders: each expander beyond the first charges BytesPerExpanderEdge per
+// buffered edge, so a parallel run under a byte budget gets a smaller buffer
+// rather than a broken bound.
+func BufferForBudgetWorkers(budgetBytes int64, w int) int {
+	per := int64(BytesPerBufferedEdge)
+	if w > 1 {
+		per += int64(w-1) * BytesPerExpanderEdge
+	}
+	b := budgetBytes / per
 	if b > maxBufferEdges {
 		b = maxBufferEdges
 	}
@@ -53,10 +77,35 @@ type BufferedStats struct {
 	// FallbackEdges counts edges placed by the per-edge informed-HDRF
 	// fallback (cross-region edges the expansion left behind).
 	FallbackEdges int64
-	// PeakBufferBytes is the high-water mark of batch-local allocations
-	// (edge buffer, mini-CSR, per-batch vertex state and heap). Guaranteed
-	// to stay ≤ BytesPerBufferedEdge · BufferEdges.
+	// PeakBufferBytes is the high-water mark of buffer-scaled batch-local
+	// allocations (edge buffer, mini-CSR, per-batch vertex state, bucket
+	// pool, claim array and expander states; the O(k) fixed baseline is
+	// excluded). Guaranteed to stay ≤ BytesPerBufferedEdge +
+	// (Workers−1)·BytesPerExpanderEdge per buffered edge.
 	PeakBufferBytes int64
+
+	// ParallelBatches counts batches whose regions were grown by concurrent
+	// expanders (Workers > 1 and the batch cleared ParallelExpandMin).
+	ParallelBatches int
+	// PeakExpanders is the largest number of regions ever in flight at
+	// once — ≥ 2 whenever a parallel batch had two admissible partitions.
+	PeakExpanders int
+
+	// WarmMaskPasses counts batch vertices indexed by the warm-start bucket
+	// build: one per batch vertex per batch, independent of k (the build
+	// walks each counted vertex's replica mask a small constant number of
+	// times — see pstate.Buckets — never once per region like the retired
+	// scan).
+	WarmMaskPasses int64
+	// WarmScanProbes counts per-vertex replica probes spent on the warm
+	// start outside the bucket build (bucket-pool overflow, legacy scans).
+	// The retired warm start paid one probe per active vertex per region —
+	// k·vertices per batch; the regression suite pins this near zero.
+	WarmScanProbes int64
+	// WarmRescans counts repeat regions (same partition expanded twice in
+	// one batch) that had to rescan the active list because the batch-start
+	// bucket index predates the first region's replicas.
+	WarmRescans int64
 }
 
 // Buffered is the buffered streaming edge partitioner of the out-of-core
@@ -83,25 +132,40 @@ type Buffered struct {
 	part.SinkHolder
 
 	// BufferEdges is the buffer size B in edges (default DefaultBufferEdges).
-	// Derive it from a byte budget with BufferForBudget.
+	// Derive it from a byte budget with BufferForBudget (or
+	// BufferForBudgetWorkers when running concurrent expanders).
 	BufferEdges int
 	// Lambda is the HDRF fallback balance weight (default 1.1).
 	Lambda float64
 	// Alpha is the balance bound α ≥ 1 (default 1.05).
 	Alpha float64
-	// Workers > 1 places the per-edge informed-HDRF fallback (cross-region
-	// leftovers, typically the expensive tail of a batch) through the
-	// parallel sharded engine. Region expansion stays sequential — it is a
-	// strictly ordered core-move process — so the replica table converts
-	// to and from its concurrent form at each parallel fallback (a
-	// zero-copy transplant). Workers ≤ 1 keeps the sequential fallback.
+	// Workers > 1 parallelizes every phase of a batch: the mini-CSR fill,
+	// the region expansion itself (up to Workers concurrent expanders, each
+	// growing a region into a distinct partition and claiming edges by CAS
+	// on the batch claim array — see expand_par.go) and the per-edge
+	// informed-HDRF fallback through the sharded engine. Workers ≤ 1 keeps
+	// the exact sequential expansion, which is the determinism guarantee.
 	Workers int
 	// ParallelFallbackMin is the minimum number of leftover edges worth
 	// fanning out (0 = default 2048; below it the sequential loop wins).
 	ParallelFallbackMin int
+	// ParallelExpandMin is the minimum batch size worth growing regions
+	// concurrently (0 = default 16Ki edges; below it sequential expansion
+	// wins).
+	ParallelExpandMin int
 
 	// LastStats holds the statistics of the most recent run.
 	LastStats BufferedStats
+
+	// legacyWarmScan routes the sequential warm start through the retired
+	// one-probe-per-active-vertex-per-region scan instead of the bucket
+	// index. Test-only: the equivalence suite pins the candidate iteration
+	// bit-for-bit against this path.
+	legacyWarmScan bool
+	// expandFault, if set, is called by every concurrent expander once per
+	// region grant; a non-nil error aborts the batch. Test-only: the race
+	// suite uses it to verify the abort discipline.
+	expandFault func(worker int) error
 }
 
 // Name implements part.Algorithm.
@@ -109,8 +173,15 @@ func (b *Buffered) Name() string { return "Buffered" }
 
 // maxBufferEdges caps the buffer so the batch-local int32 bookkeeping
 // cannot overflow: adjacency offsets and local vertex ids range up to
-// 2·bufEdges, which must stay within int32.
-const maxBufferEdges = math.MaxInt32 / 2
+// 2·bufEdges and warm-bucket pool offsets up to 2·warmPoolPerVertex·bufEdges,
+// all of which must stay within int32.
+const maxBufferEdges = math.MaxInt32 / (2 * warmPoolPerVertex)
+
+// warmPoolPerVertex sizes the warm-start bucket pool: on average this many
+// replica entries per batch vertex before vertices spill to the overflow
+// list (comfortably above the replication factors power-law runs produce,
+// so overflow probes — counted by WarmScanProbes — stay near zero).
+const warmPoolPerVertex = 3
 
 func (b *Buffered) params() (bufEdges int, lambda, alpha float64) {
 	bufEdges = b.BufferEdges
@@ -138,53 +209,82 @@ type batchState struct {
 	batch    []graph.Edge // the buffered edges
 	assigned []bool       // per batch edge
 
-	verts     []graph.V   // local id -> global id
-	off       []int32     // CSR segment ends: segment(v) = adj[start(v):off[v]]
-	udeg      []int32     // per local vertex: unassigned incident edges
-	activePos []int32     // position in active, -1 when exhausted
-	member    []bool      // region membership, cleared after each region
-	active    []int32     // local vertices with udeg > 0
-	touched   []int32     // members of the current region (for reset)
-	warm      []int32     // replica-affine warm-start candidates per region
-	heap      *vheap.Heap // region members keyed by external degree
+	verts     []graph.V // local id -> global id
+	off       []int32   // CSR segment ends: segment(v) = adj[start(v):off[v]]
+	udeg      []int32   // per local vertex: unassigned incident edges
+	activePos []int32   // position in active, -1 when exhausted
+	active    []int32   // local vertices with udeg > 0
+	expanded  []bool    // per partition: region grown this batch
 
 	adjV []int32 // adjacency: neighbor local id
 	adjE []int32 // adjacency: batch edge index
 
+	// buckets is the warm-start index: batch vertices bucketed by hosting
+	// partition, one mask iteration per vertex per batch.
+	buckets *pstate.Buckets
+
+	// expanders holds one region-growing state per expander goroutine;
+	// expanders[0] is the sequential mode's. Grown on demand, counted
+	// against the buffer budget.
+	expanders []*expanderState
+
+	// claims is the concurrent expanders' shared edge-claim array
+	// (allocated lazily on the first parallel batch, charged always).
+	claims *dne.Claims
+
 	// fbEdges gathers the leftover edges for the parallel fallback
-	// (allocated lazily on the first parallel fallback, counted against
-	// the buffer budget like every other batch-local array).
+	// (allocated lazily on the first parallel fallback, charged always).
 	fbEdges []graph.Edge
 }
 
-func newBatchState(bufEdges int) *batchState {
+func newBatchState(bufEdges, k int) *batchState {
 	maxV := 2 * bufEdges
-	return &batchState{
+	st := &batchState{
 		batch:     make([]graph.Edge, 0, bufEdges),
 		assigned:  make([]bool, bufEdges),
 		verts:     make([]graph.V, 0, maxV),
 		off:       make([]int32, maxV),
 		udeg:      make([]int32, maxV),
 		activePos: make([]int32, maxV),
-		member:    make([]bool, maxV),
 		active:    make([]int32, 0, maxV),
-		touched:   make([]int32, 0, maxV),
-		warm:      make([]int32, 0, maxV),
-		heap:      vheap.NewWithCap(maxV, maxV),
+		expanded:  make([]bool, k),
 		adjV:      make([]int32, 2*bufEdges),
 		adjE:      make([]int32, 2*bufEdges),
+		buckets:   pstate.NewBuckets(k, warmPoolPerVertex*maxV, maxV),
+		expanders: []*expanderState{newExpanderState(maxV)},
+	}
+	return st
+}
+
+// ensureExpanders grows the expander-state pool to w entries.
+func (st *batchState) ensureExpanders(w int) {
+	maxV := len(st.off)
+	for len(st.expanders) < w {
+		st.expanders = append(st.expanders, newExpanderState(maxV))
+	}
+	if st.claims == nil {
+		st.claims = dne.NewClaims(cap(st.batch))
 	}
 }
 
-// bytes returns the total batch-local allocation.
+// bytes returns the total buffer-scaled batch-local allocation — the
+// quantity BytesPerBufferedEdge bounds. The O(k) pieces (bucket heads,
+// expanded flags) belong to the fixed resident baseline and are excluded,
+// like the O(|V|) vertex arrays.
 func (st *batchState) bytes() int64 {
-	return int64(cap(st.batch))*8 + int64(cap(st.assigned)) +
+	b := int64(cap(st.batch))*8 + int64(cap(st.assigned)) +
 		int64(cap(st.verts))*4 + int64(cap(st.off))*4 + int64(cap(st.udeg))*4 +
-		int64(cap(st.activePos))*4 + int64(cap(st.member)) +
-		int64(cap(st.active))*4 + int64(cap(st.touched))*4 +
-		int64(cap(st.warm))*4 + st.heap.Bytes() +
+		int64(cap(st.activePos))*4 + int64(cap(st.active))*4 +
 		int64(cap(st.adjV))*4 + int64(cap(st.adjE))*4 +
+		st.buckets.Bytes() - int64(st.buckets.K()+1)*4 +
 		int64(cap(st.fbEdges))*8
+	for _, ex := range st.expanders {
+		b += ex.bytes()
+	}
+	if st.claims != nil {
+		b += st.claims.Bytes()
+	}
+	return b
 }
 
 // seedScanLimit bounds the affinity scan of the active list per seed choice.
@@ -233,34 +333,44 @@ func (b *Buffered) Partition(src graph.EdgeStream, k int) (*part.Result, error) 
 		localID[i] = -1
 	}
 
-	st := newBatchState(bufEdges)
+	st := newBatchState(bufEdges, k)
 	b.LastStats.PeakBufferBytes = st.bytes()
 
-	run := func() {
-		b.processBatch(st, localID, res, deg, lambda, capacity)
+	run := func() error {
+		if err := b.processBatch(st, localID, res, deg, lambda, capacity); err != nil {
+			return err
+		}
 		if by := st.bytes(); by > b.LastStats.PeakBufferBytes {
 			b.LastStats.PeakBufferBytes = by
 		}
 		st.batch = st.batch[:0]
+		return nil
 	}
+	var batchErr error
 	err = src.Edges(func(u, v graph.V) bool {
 		st.batch = append(st.batch, graph.Edge{U: u, V: v})
 		if len(st.batch) == bufEdges {
-			run()
+			batchErr = run()
+			return batchErr == nil
 		}
 		return true
 	})
 	if err != nil {
 		return nil, err
 	}
+	if batchErr != nil {
+		return nil, batchErr
+	}
 	if len(st.batch) > 0 {
-		run()
+		if err := run(); err != nil {
+			return nil, err
+		}
 	}
 	return res, nil
 }
 
 // processBatch builds the mini-CSR over st.batch and places every batch edge.
-func (b *Buffered) processBatch(st *batchState, localID []int32, res *part.Result, deg []int32, lambda float64, capacity int64) {
+func (b *Buffered) processBatch(st *batchState, localID []int32, res *part.Result, deg []int32, lambda float64, capacity int64) error {
 	b.LastStats.Batches++
 	batch := st.batch
 
@@ -302,42 +412,35 @@ func (b *Buffered) processBatch(st *batchState, localID []int32, res *part.Resul
 		}
 	}
 
-	// Active list: every batch vertex starts with unassigned edges.
-	st.active = st.active[:0]
-	for v := 0; v < nv; v++ {
-		st.activePos[v] = int32(len(st.active))
-		st.active = append(st.active, int32(v))
-		st.member[v] = false
-	}
+	// Warm-start index: every batch vertex's replica mask iterated once,
+	// bucketing vertices by hosting partition — the candidate iteration
+	// that retired the one-probe-per-vertex-per-region warm scan.
+	st.buckets.Build(res.Reps, st.verts)
+	b.LastStats.WarmMaskPasses += int64(nv)
+
 	for i := range batch {
 		st.assigned[i] = false
 	}
-
-	remaining := len(batch)
-	quotaBase := (len(batch) + res.K - 1) / res.K
-	if quotaBase < 1 {
-		quotaBase = 1
+	for p := range st.expanded {
+		st.expanded[p] = false
 	}
 
-	// One region sweep per partition normally covers the batch exactly
-	// (k regions × ⌈batch/k⌉ quota); the cap only binds when capacity
-	// clamps quotas, in which case the leftovers take the informed
-	// fallback below.
-	for regions := 0; remaining > 0 && regions < res.K; regions++ {
-		p := pickPartition(res, capacity)
-		if p < 0 {
-			break // all partitions at capacity: informed fallback below
+	var remaining int
+	if w := b.expandWorkers(len(batch), res.K); w > 1 {
+		var err error
+		remaining, err = b.expandParallel(st, res, capacity, w)
+		if err != nil {
+			return err
 		}
-		quota := int64(quotaBase)
-		if room := capacity - res.Counts[p]; quota > room {
-			quota = room
+	} else {
+		// Active list: every batch vertex starts with unassigned edges.
+		st.active = st.active[:0]
+		for v := 0; v < nv; v++ {
+			st.activePos[v] = int32(len(st.active))
+			st.active = append(st.active, int32(v))
+			st.expanders[0].member[v] = false
 		}
-		b.LastStats.Regions++
-		placed := b.growRegion(st, res, p, int(quota))
-		remaining -= placed
-		if placed == 0 {
-			break // no admissible seed left for this batch
-		}
+		remaining = b.expandSequential(st, res, capacity)
 	}
 
 	if remaining > 0 {
@@ -348,70 +451,7 @@ func (b *Buffered) processBatch(st *batchState, localID []int32, res *part.Resul
 	for _, g := range st.verts {
 		localID[g] = -1
 	}
-}
-
-// growRegion grows one NE-style expansion region into partition p: the
-// region's member set is extended one vertex at a time, only edges with both
-// endpoints in the region are assigned, and the next core vertex is always
-// the member with the fewest unassigned external edges. It returns the
-// number of edges placed, never more than quota (which the caller clamps to
-// the partition's remaining capacity).
-func (b *Buffered) growRegion(st *batchState, res *part.Result, p, quota int) int {
-	placed := 0
-	st.heap.Reset()
-	st.touched = st.touched[:0]
-
-	// Informed warm start — the buffered analog of NE++'s spill-over
-	// pre-seeding: every batch vertex already replicated on p joins the
-	// region up front, so edges between two p-replicated vertices are
-	// assigned to p at zero replication cost and the expansion continues
-	// p's existing territory instead of opening a new one. The full active
-	// scan is one vertex-major mask probe per batch vertex per region;
-	// bounding it (like seedScanLimit does for seeds) measurably costs
-	// replication factor, so the scan is deliberately unbounded.
-	st.warm = st.warm[:0]
-	for _, v := range st.active {
-		if res.Reps.Has(st.verts[v], p) {
-			st.warm = append(st.warm, v)
-		}
-	}
-	for _, v := range st.warm {
-		if placed >= quota {
-			break
-		}
-		if st.udeg[v] > 0 && !st.member[v] {
-			b.join(st, res, v, p, &placed, quota)
-		}
-	}
-
-	for placed < quota {
-		if st.heap.Len() == 0 {
-			seed := st.pickSeed(res, p)
-			if seed < 0 {
-				break
-			}
-			b.join(st, res, seed, p, &placed, quota)
-			continue
-		}
-		v, _ := st.heap.PopMin()
-		// Core move: pull v's outside neighbors into the region; their
-		// joins assign the connecting edges (and any other edges they
-		// close with existing members).
-		start := st.start(int32(v))
-		for i := start; i < st.off[v] && placed < quota; i++ {
-			e := st.adjE[i]
-			if st.assigned[e] {
-				continue
-			}
-			if u := st.adjV[i]; !st.member[u] {
-				b.join(st, res, u, p, &placed, quota)
-			}
-		}
-	}
-	for _, v := range st.touched {
-		st.member[v] = false
-	}
-	return placed
+	return nil
 }
 
 // start returns the adjacency segment start of local vertex v.
@@ -420,88 +460,6 @@ func (st *batchState) start(v int32) int32 {
 		return 0
 	}
 	return st.off[v-1]
-}
-
-// join adds local vertex x to the current region: every unassigned edge
-// between x and an existing member is assigned to p, and x enters the heap
-// keyed by its remaining (external) unassigned degree.
-func (b *Buffered) join(st *batchState, res *part.Result, x int32, p int, placed *int, quota int) {
-	st.member[x] = true
-	st.touched = append(st.touched, x)
-	for i := st.start(x); i < st.off[x]; i++ {
-		e := st.adjE[i]
-		if st.assigned[e] || !st.member[st.adjV[i]] {
-			continue
-		}
-		if *placed >= quota {
-			break
-		}
-		res.Assign(st.batch[e].U, st.batch[e].V, p)
-		st.assigned[e] = true
-		*placed++
-		b.LastStats.ExpansionEdges++
-		st.decUnassigned(x)
-		st.decUnassigned(st.adjV[i])
-	}
-	if st.udeg[x] > 0 && !st.heap.Contains(uint32(x)) {
-		st.heap.Push(uint32(x), st.udeg[x])
-	}
-}
-
-// decUnassigned decrements v's unassigned-edge count, keeping the heap key
-// in sync and removing v from the active list when it is exhausted.
-func (st *batchState) decUnassigned(v int32) {
-	st.udeg[v]--
-	if st.heap.Contains(uint32(v)) {
-		if st.udeg[v] > 0 {
-			st.heap.Add(uint32(v), -1)
-		} else {
-			st.heap.Remove(uint32(v))
-		}
-	}
-	if st.udeg[v] > 0 {
-		return
-	}
-	pos := st.activePos[v]
-	last := int32(len(st.active) - 1)
-	moved := st.active[last]
-	st.active[pos] = moved
-	st.activePos[moved] = pos
-	st.active = st.active[:last]
-	st.activePos[v] = -1
-}
-
-// pickSeed selects the next expansion seed for partition p: among a bounded
-// prefix of the active list it prefers a non-member vertex already
-// replicated on p (stitching the batch onto the global replica state),
-// breaking ties toward the fewest unassigned edges; with no replica hit it
-// falls back to the scanned vertex with minimum unassigned degree (the
-// NE-style low-degree seed). Returns -1 when no unassigned vertex remains.
-func (st *batchState) pickSeed(res *part.Result, p int) int32 {
-	limit := len(st.active)
-	if limit > seedScanLimit {
-		limit = seedScanLimit
-	}
-	bestHit, bestAny := int32(-1), int32(-1)
-	for i := 0; i < limit; i++ {
-		v := st.active[i]
-		if st.member[v] {
-			continue
-		}
-		if res.Reps.Has(st.verts[v], p) {
-			if bestHit < 0 || st.udeg[v] < st.udeg[bestHit] {
-				bestHit = v
-			}
-			continue
-		}
-		if bestAny < 0 || st.udeg[v] < st.udeg[bestAny] {
-			bestAny = v
-		}
-	}
-	if bestHit >= 0 {
-		return bestHit
-	}
-	return bestAny
 }
 
 // parallelFillMin is the batch size below which the sequential mini-CSR

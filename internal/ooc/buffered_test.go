@@ -82,7 +82,7 @@ func TestBufferedParallelFallback(t *testing.T) {
 
 	run := func(workers int) (*part.Result, *part.Collect, *Buffered) {
 		b := &Buffered{Workers: workers, ParallelFallbackMin: 1}
-		st := newBatchState(len(g.E))
+		st := newBatchState(len(g.E), k)
 		st.batch = append(st.batch[:0], g.E...)
 		res := part.NewResult(g.NumVertices(), k)
 		col := &part.Collect{}

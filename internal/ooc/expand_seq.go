@@ -1,0 +1,229 @@
+package ooc
+
+import (
+	"sort"
+
+	"hep/internal/part"
+)
+
+// The sequential expander: one region at a time, exact unassigned-degree
+// bookkeeping (udeg, the active list and heap keys stay in lockstep with
+// every assignment), and the candidate-iteration warm start over the batch
+// bucket index. With Workers ≤ 1 this is the only expansion path and its
+// output is deterministic; the concurrent expanders (expand_par.go) trade
+// that exactness for parallelism.
+
+// expandSequential runs the region sweep of one batch: one region per
+// partition normally covers the batch exactly (k regions × ⌈batch/k⌉ quota);
+// the cap only binds when capacity clamps quotas, in which case the
+// leftovers take the informed fallback. Returns the number of edges the
+// expansion left unassigned.
+func (b *Buffered) expandSequential(st *batchState, res *part.Result, capacity int64) int {
+	remaining := len(st.batch)
+	quotaBase := (len(st.batch) + res.K - 1) / res.K
+	if quotaBase < 1 {
+		quotaBase = 1
+	}
+	for regions := 0; remaining > 0 && regions < res.K; regions++ {
+		p := pickPartition(res, capacity)
+		if p < 0 {
+			break // all partitions at capacity: informed fallback
+		}
+		quota := int64(quotaBase)
+		if room := capacity - res.Counts[p]; quota > room {
+			quota = room
+		}
+		b.LastStats.Regions++
+		placed := b.growRegion(st, res, p, int(quota))
+		remaining -= placed
+		if placed == 0 {
+			break // no admissible seed left for this batch
+		}
+	}
+	return remaining
+}
+
+// seqWarmCandidates assembles the warm-start set for partition p in the
+// exact order the retired k-probe scan produced: the bucket index (plus
+// overflow probes) yields every active vertex replicated on p, and sorting
+// by position in the active list reproduces the active-scan order bit for
+// bit. A repeat region into a partition already expanded this batch cannot
+// use the batch-start index (the earlier region added replicas the index
+// predates), so it falls back to the full scan — counted by WarmRescans and
+// pinned to zero on the stand-ins.
+func (b *Buffered) seqWarmCandidates(st *batchState, res *part.Result, ex *expanderState, p int) []int32 {
+	if b.legacyWarmScan || st.expanded[p] {
+		if !b.legacyWarmScan {
+			b.LastStats.WarmRescans++
+		}
+		return b.scanWarmCandidates(st, res, ex, p)
+	}
+	cands, probes := st.warmInto(ex.cands[:0], res.Reps, p)
+	b.LastStats.WarmScanProbes += probes
+	n := 0
+	for _, v := range cands {
+		if st.activePos[v] >= 0 {
+			cands[n] = v
+			n++
+		}
+	}
+	cands = cands[:n]
+	sort.Slice(cands, func(i, j int) bool {
+		return st.activePos[cands[i]] < st.activePos[cands[j]]
+	})
+	ex.cands = cands[:0]
+	return cands
+}
+
+// scanWarmCandidates is the retired warm start, verbatim: one replica probe
+// per active batch vertex per region. It survives only as the repeat-region
+// escape hatch and as the reference the equivalence tests pin the candidate
+// iteration against (legacyWarmScan).
+func (b *Buffered) scanWarmCandidates(st *batchState, res *part.Result, ex *expanderState, p int) []int32 {
+	out := ex.cands[:0]
+	for _, v := range st.active {
+		if res.Reps.Has(st.verts[v], p) {
+			out = append(out, v)
+		}
+	}
+	b.LastStats.WarmScanProbes += int64(len(st.active))
+	ex.cands = out[:0]
+	return out
+}
+
+// growRegion grows one NE-style expansion region into partition p: the
+// region's member set is extended one vertex at a time, only edges with both
+// endpoints in the region are assigned, and the next core vertex is always
+// the member with the fewest unassigned external edges. It returns the
+// number of edges placed, never more than quota (which the caller clamps to
+// the partition's remaining capacity).
+func (b *Buffered) growRegion(st *batchState, res *part.Result, p, quota int) int {
+	placed := 0
+	ex := st.expanders[0]
+	ex.heap.Reset()
+	ex.touched = ex.touched[:0]
+
+	// Informed warm start — the buffered analog of NE++'s spill-over
+	// pre-seeding: every batch vertex already replicated on p joins the
+	// region up front, so edges between two p-replicated vertices are
+	// assigned to p at zero replication cost and the expansion continues
+	// p's existing territory instead of opening a new one.
+	for _, v := range b.seqWarmCandidates(st, res, ex, p) {
+		if placed >= quota {
+			break
+		}
+		if st.udeg[v] > 0 && !ex.member[v] {
+			b.join(st, ex, res, v, p, &placed, quota)
+		}
+	}
+	st.expanded[p] = true
+
+	for placed < quota {
+		if ex.heap.Len() == 0 {
+			seed := st.pickSeed(res, ex, p)
+			if seed < 0 {
+				break
+			}
+			b.join(st, ex, res, seed, p, &placed, quota)
+			continue
+		}
+		v, _ := ex.heap.PopMin()
+		// Core move: pull v's outside neighbors into the region; their
+		// joins assign the connecting edges (and any other edges they
+		// close with existing members).
+		start := st.start(int32(v))
+		for i := start; i < st.off[v] && placed < quota; i++ {
+			e := st.adjE[i]
+			if st.assigned[e] {
+				continue
+			}
+			if u := st.adjV[i]; !ex.member[u] {
+				b.join(st, ex, res, u, p, &placed, quota)
+			}
+		}
+	}
+	ex.clearRegion()
+	return placed
+}
+
+// join adds local vertex x to the current region: every unassigned edge
+// between x and an existing member is assigned to p, and x enters the heap
+// keyed by its remaining (external) unassigned degree.
+func (b *Buffered) join(st *batchState, ex *expanderState, res *part.Result, x int32, p int, placed *int, quota int) {
+	ex.member[x] = true
+	ex.touched = append(ex.touched, x)
+	for i := st.start(x); i < st.off[x]; i++ {
+		e := st.adjE[i]
+		if st.assigned[e] || !ex.member[st.adjV[i]] {
+			continue
+		}
+		if *placed >= quota {
+			break
+		}
+		res.Assign(st.batch[e].U, st.batch[e].V, p)
+		st.assigned[e] = true
+		*placed++
+		b.LastStats.ExpansionEdges++
+		st.decUnassigned(ex, x)
+		st.decUnassigned(ex, st.adjV[i])
+	}
+	if st.udeg[x] > 0 && !ex.heap.Contains(uint32(x)) {
+		ex.heap.Push(uint32(x), st.udeg[x])
+	}
+}
+
+// decUnassigned decrements v's unassigned-edge count, keeping the heap key
+// in sync and removing v from the active list when it is exhausted.
+func (st *batchState) decUnassigned(ex *expanderState, v int32) {
+	st.udeg[v]--
+	if ex.heap.Contains(uint32(v)) {
+		if st.udeg[v] > 0 {
+			ex.heap.Add(uint32(v), -1)
+		} else {
+			ex.heap.Remove(uint32(v))
+		}
+	}
+	if st.udeg[v] > 0 {
+		return
+	}
+	pos := st.activePos[v]
+	last := int32(len(st.active) - 1)
+	moved := st.active[last]
+	st.active[pos] = moved
+	st.activePos[moved] = pos
+	st.active = st.active[:last]
+	st.activePos[v] = -1
+}
+
+// pickSeed selects the next expansion seed for partition p: among a bounded
+// prefix of the active list it prefers a non-member vertex already
+// replicated on p (stitching the batch onto the global replica state),
+// breaking ties toward the fewest unassigned edges; with no replica hit it
+// falls back to the scanned vertex with minimum unassigned degree (the
+// NE-style low-degree seed). Returns -1 when no unassigned vertex remains.
+func (st *batchState) pickSeed(res *part.Result, ex *expanderState, p int) int32 {
+	limit := len(st.active)
+	if limit > seedScanLimit {
+		limit = seedScanLimit
+	}
+	bestHit, bestAny := int32(-1), int32(-1)
+	for i := 0; i < limit; i++ {
+		v := st.active[i]
+		if ex.member[v] {
+			continue
+		}
+		if res.Reps.Has(st.verts[v], p) {
+			if bestHit < 0 || st.udeg[v] < st.udeg[bestHit] {
+				bestHit = v
+			}
+			continue
+		}
+		if bestAny < 0 || st.udeg[v] < st.udeg[bestAny] {
+			bestAny = v
+		}
+	}
+	if bestHit >= 0 {
+		return bestHit
+	}
+	return bestAny
+}

@@ -1,0 +1,123 @@
+package parttest
+
+import (
+	"fmt"
+	"testing"
+
+	"hep/internal/gen"
+	"hep/internal/ooc"
+	"hep/internal/part"
+)
+
+// TestParallelExpansionQualityPin pins the concurrent region expanders of
+// the out-of-core engine to the sequential expander: at k ∈ {32, 128} on
+// the OK, TW and LJ stand-ins, W ∈ {2, 4, 8} concurrent expanders must stay
+// within 2% of sequential replication factor and balance, assign the same
+// number of edges, and demonstrably run ≥ 2 regions concurrently.
+//
+// Which edges each region claims depends on worker interleaving, so a
+// single run's RF scatters around the expander's real quality (± a couple
+// percent under the race scheduler, centered at sequential); the pinned
+// quantity is the mean of a few runs, which is what the 2% claim is about.
+func TestParallelExpansionQualityPin(t *testing.T) {
+	const reps = 3
+	for _, name := range []string{"OK", "TW", "LJ"} {
+		g := gen.MustDataset(name).Build(0.1)
+		for _, k := range []int{32, 128} {
+			seqAlgo := &ooc.Buffered{BufferEdges: 1 << 15}
+			seq, err := seqAlgo.Partition(g, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{2, 4, 8} {
+				t.Run(fmt.Sprintf("%s/k=%d/W=%d", name, k, workers), func(t *testing.T) {
+					var rfSum, balSum float64
+					for rep := 0; rep < reps; rep++ {
+						algo := &ooc.Buffered{BufferEdges: 1 << 15, Workers: workers, ParallelExpandMin: 1}
+						par, err := algo.Partition(g, k)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if par.M != seq.M {
+							t.Fatalf("parallel assigned %d edges, sequential %d", par.M, seq.M)
+						}
+						if algo.LastStats.ParallelBatches == 0 || algo.LastStats.PeakExpanders < 2 {
+							t.Fatalf("expansion not concurrent: %d parallel batches, peak %d expanders",
+								algo.LastStats.ParallelBatches, algo.LastStats.PeakExpanders)
+						}
+						rfSum += par.ReplicationFactor()
+						balSum += par.Balance()
+					}
+					srf, prf := seq.ReplicationFactor(), rfSum/reps
+					if prf > srf*1.02 {
+						t.Errorf("mean RF %.4f > sequential %.4f + 2%%", prf, srf)
+					}
+					sb, pb := seq.Balance(), balSum/reps
+					if pb > sb*1.02 {
+						t.Errorf("mean balance %.4f > sequential %.4f + 2%%", pb, sb)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestParallelExpansionExactlyOnceConformance runs the repository-wide
+// validity checks over the concurrent expansion path: every edge assigned
+// exactly once, replicas consistent, balance within the bound — the same
+// contract every other partitioner meets, under real concurrency.
+func TestParallelExpansionExactlyOnceConformance(t *testing.T) {
+	g := gen.MustDataset("LJ").Build(0.1)
+	for _, workers := range []int{2, 4, 8} {
+		algo := &ooc.Buffered{BufferEdges: 1 << 14, Workers: workers, ParallelExpandMin: 1}
+		res, err := RunAndCheck(algo, g, 32, 1.05, 2)
+		if err != nil {
+			t.Errorf("W=%d: %v", workers, err)
+			continue
+		}
+		if res.M != g.NumEdges() {
+			t.Errorf("W=%d: assigned %d of %d edges", workers, res.M, g.NumEdges())
+		}
+	}
+}
+
+// TestParallelExpansionSinkBatchOrder pins the delivery contract of the
+// concurrent mode: within every batch the expansion sweep delivers claimed
+// edges in batch (stream) order, so the sink sequence restricted to any one
+// batch's expansion phase is a subsequence of the stream even though
+// placement raced. With a buffer covering the whole graph this means the
+// expansion deliveries arrive in exact stream order.
+func TestParallelExpansionSinkBatchOrder(t *testing.T) {
+	g := gen.MustDataset("OK").Build(0.05)
+	algo := &ooc.Buffered{BufferEdges: 1 << 30, Workers: 4, ParallelExpandMin: 1}
+	col := &part.Collect{}
+	algo.SetSink(col)
+	res, err := algo.Partition(g, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if algo.LastStats.Batches != 1 || algo.LastStats.ParallelBatches != 1 {
+		t.Fatalf("want one concurrent batch, got %d/%d", algo.LastStats.ParallelBatches, algo.LastStats.Batches)
+	}
+	if err := CheckExactlyOnce(g, res, col); err != nil {
+		t.Fatal(err)
+	}
+	// The first ExpansionEdges deliveries are the claim sweep: they must be
+	// a stream-order subsequence of the input edge list, and the remainder
+	// (the fallback's share) likewise.
+	checkSubsequence := func(phase string, got []part.TaggedEdge) {
+		i := 0
+		for _, te := range got {
+			for i < len(g.E) && g.E[i] != te.E {
+				i++
+			}
+			if i == len(g.E) {
+				t.Fatalf("%s deliveries left stream order at %v", phase, te.E)
+			}
+			i++
+		}
+	}
+	n := int(algo.LastStats.ExpansionEdges)
+	checkSubsequence("expansion", col.Edges[:n])
+	checkSubsequence("fallback", col.Edges[n:])
+}

@@ -1,0 +1,156 @@
+package pstate
+
+import (
+	"math/rand"
+	"testing"
+
+	"hep/internal/graph"
+)
+
+// naiveBuckets recomputes the index with one Has probe per (vertex,
+// partition) pair — the retired k-probe discipline, kept as the oracle.
+func naiveBuckets(t *Table, verts []graph.V, k int) [][]int32 {
+	out := make([][]int32, k)
+	for p := 0; p < k; p++ {
+		for i, v := range verts {
+			if t.Has(v, p) {
+				out[p] = append(out[p], int32(i))
+			}
+		}
+	}
+	return out
+}
+
+// TestBucketsMatchProbeOracle pins Build against the probe oracle across k
+// spanning the dense word and the paged overflow, with an ample pool (no
+// overflow spill).
+func TestBucketsMatchProbeOracle(t *testing.T) {
+	for _, k := range []int{8, 64, 200} {
+		rng := rand.New(rand.NewSource(int64(k)))
+		const n = 500
+		tab := NewTable(n, k)
+		for v := 0; v < n; v++ {
+			for r := 0; r < rng.Intn(5); r++ {
+				tab.Add(graph.V(v), rng.Intn(k))
+			}
+		}
+		verts := make([]graph.V, 0, 256)
+		for v := 0; v < n; v += 2 {
+			verts = append(verts, graph.V(v))
+		}
+		b := NewBuckets(k, len(verts)*k, len(verts))
+		b.Build(tab, verts)
+		if len(b.Overflow()) != 0 {
+			t.Fatalf("k=%d: unexpected overflow %v", k, b.Overflow())
+		}
+		want := naiveBuckets(tab, verts, k)
+		for p := 0; p < k; p++ {
+			got := b.Bucket(p)
+			if len(got) != len(want[p]) {
+				t.Fatalf("k=%d p=%d: bucket size %d, oracle %d", k, p, len(got), len(want[p]))
+			}
+			for i := range got {
+				if got[i] != want[p][i] {
+					t.Fatalf("k=%d p=%d: bucket[%d]=%d, oracle %d", k, p, i, got[i], want[p][i])
+				}
+			}
+		}
+	}
+}
+
+// TestBucketsOverflowSpill pins the bounded-pool contract: vertices admitted
+// in input order while their replica sets fit, the rest spilled to the
+// overflow list deterministically, and bucket-plus-overflow together still
+// covering exactly the oracle.
+func TestBucketsOverflowSpill(t *testing.T) {
+	const k = 4
+	tab := NewTable(6, k)
+	// Replica counts per vertex: 2, 2, 2, 1, 3, 1 — a pool of 5 admits
+	// vertices 0, 1 (total 4), spills 2 (would reach 6), admits 3 (total 5),
+	// spills 4, and 5 no longer fits nothing… vertex 5 has count 1, total
+	// would reach 6 > 5, so it spills too.
+	for v, ps := range [][]int{{0, 1}, {1, 2}, {0, 3}, {2}, {0, 1, 2}, {3}} {
+		for _, p := range ps {
+			tab.Add(graph.V(v), p)
+		}
+	}
+	verts := []graph.V{0, 1, 2, 3, 4, 5}
+	b := NewBuckets(k, 5, len(verts))
+	b.Build(tab, verts)
+
+	wantOv := []int32{2, 4, 5}
+	ov := b.Overflow()
+	if len(ov) != len(wantOv) {
+		t.Fatalf("overflow %v, want %v", ov, wantOv)
+	}
+	for i := range ov {
+		if ov[i] != wantOv[i] {
+			t.Fatalf("overflow %v, want %v", ov, wantOv)
+		}
+	}
+	// Admitted buckets: p0 ← {0}, p1 ← {0,1}, p2 ← {1,3}, p3 ← {}.
+	check := func(p int, want ...int32) {
+		got := b.Bucket(p)
+		if len(got) != len(want) {
+			t.Fatalf("bucket %d = %v, want %v", p, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("bucket %d = %v, want %v", p, got, want)
+			}
+		}
+	}
+	check(0, 0)
+	check(1, 0, 1)
+	check(2, 1, 3)
+	check(3)
+
+	// Rebuild discards the previous index (idempotent reuse).
+	b.Build(tab, verts[:2])
+	if len(b.Overflow()) != 0 {
+		t.Fatalf("rebuild overflow %v", b.Overflow())
+	}
+	check(0, 0)
+	check(1, 0, 1)
+	check(2, 1)
+	check(3)
+}
+
+// TestBucketsBytesStable pins that Build never allocates past the caps the
+// constructor charged.
+func TestBucketsBytesStable(t *testing.T) {
+	tab := NewTable(100, 8)
+	for v := 0; v < 100; v++ {
+		tab.Add(graph.V(v), v%8)
+	}
+	verts := make([]graph.V, 100)
+	for v := range verts {
+		verts[v] = graph.V(v)
+	}
+	b := NewBuckets(8, 40, 100)
+	before := b.Bytes()
+	for i := 0; i < 3; i++ {
+		b.Build(tab, verts)
+	}
+	if by := b.Bytes(); by != before {
+		t.Fatalf("Bytes drifted %d → %d across builds", before, by)
+	}
+}
+
+// TestBucketsOverflowExhaustionPanics pins the fail-loud contract: a vertex
+// that fits neither the pool nor the overflow list is a caller sizing bug,
+// never a silent drop from the index.
+func TestBucketsOverflowExhaustionPanics(t *testing.T) {
+	tab := NewTable(3, 2)
+	for v := 0; v < 3; v++ {
+		tab.Add(graph.V(v), 0)
+		tab.Add(graph.V(v), 1)
+	}
+	b := NewBuckets(2, 2, 0) // pool admits one vertex, no overflow room
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Build silently dropped a vertex instead of panicking")
+		}
+	}()
+	b.Build(tab, []graph.V{0, 1, 2})
+}
