@@ -6,6 +6,7 @@
 //	hep-bench                     # everything at the default scale
 //	hep-bench -exp fig8 -scale 1  # one experiment
 //	hep-bench -exp table4 -datasets OK,IT,TW
+//	hep-bench -scale 1 -json BENCH.json   # machine-readable tables (hep-bench/v1)
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"strings"
 
 	"hep/internal/expt"
+	"hep/internal/obs"
 )
 
 func main() {
@@ -26,10 +28,18 @@ func main() {
 		ks       = flag.String("k", "", "comma-separated partition counts (default per experiment)")
 		workers  = flag.String("workers", "", "comma-separated worker counts for -exp shard/build (default 1,2,4,8)")
 		skipSlow = flag.Bool("skipslow", true, "skip partitioners the paper marks OOT on large graphs")
+		jsonOut  = flag.String("json", "", "additionally write every table's rows as machine-readable JSON (hep-bench/v1) to this file")
 	)
 	flag.Parse()
 
 	cfg := expt.Config{Scale: *scale, SkipSlow: *skipSlow, Out: os.Stdout}
+	if *jsonOut != "" {
+		cfg.Report = obs.NewBenchReport(map[string]any{
+			"experiment": *exp,
+			"scale":      *scale,
+			"skipslow":   *skipSlow,
+		})
+	}
 	if *datasets != "" {
 		cfg.Datasets = strings.Split(*datasets, ",")
 	}
@@ -76,6 +86,7 @@ func main() {
 				os.Exit(1)
 			}
 		}
+		writeReport(cfg.Report, *jsonOut)
 		return
 	}
 	run, ok := runners[*exp]
@@ -87,4 +98,24 @@ func main() {
 		fmt.Fprintf(os.Stderr, "hep-bench: %v\n", err)
 		os.Exit(1)
 	}
+	writeReport(cfg.Report, *jsonOut)
+}
+
+// writeReport writes the collected JSON tables, if -json asked for them.
+func writeReport(r *obs.BenchReport, path string) {
+	if r == nil || path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err == nil {
+		err = r.WriteJSON(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hep-bench: -json: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "hep-bench: JSON tables written to %s\n", path)
 }

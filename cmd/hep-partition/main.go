@@ -13,6 +13,7 @@
 //	hep-partition -in graph.bin -k 32 -algo buffered -budget 536870912
 //	hep-partition -in graph.bin -k 128 -algo hdrf -assign out.txt
 //	hep-partition -in graph.bin -k 32 -algo hdrf -workers 8
+//	hep-partition -in graph.bin -k 32 -workers 4 -v -trace-json trace.json -metrics-addr :6060
 package main
 
 import (
@@ -20,10 +21,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"hep"
+	"hep/internal/obs"
 	"hep/internal/part"
 )
 
@@ -43,6 +46,11 @@ func main() {
 			"(0 = all cores, 1 = exact sequential path; algorithms with no parallel path reject > 1)")
 		budget = flag.Int64("budget", 0, "if > 0, fit the partitioner to this many bytes: "+
 			"picks τ for -algo hep (§4.4), sizes the edge buffer for -algo buffered")
+		traceJSON = flag.String("trace-json", "", "write the machine-readable run trace "+
+			"(phase timeline + hot-path counters, hep-trace/v1) to this file")
+		metricsAddr = flag.String("metrics-addr", "", "serve expvar (/debug/vars, live hep counters), "+
+			"pprof (/debug/pprof/) and the live trace (/debug/trace.json) on this address for the duration of the run")
+		verbose = flag.Bool("v", false, "print phase transitions and a periodic edges/s + ETA line to stderr")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -55,6 +63,31 @@ func main() {
 		Algorithm: *algo, K: *k, Tau: *tau,
 		Alpha: *alpha, Lambda: *lambda, Seed: *seed,
 		Buffer: *buffer, MemBudget: *budget, Workers: *workers,
+	}
+
+	// One observability hub feeds all three surfaces: the trace file, the
+	// debug listener and the progress reporter. With none requested, cfg.Obs
+	// stays nil and every instrumentation point in the pipeline is free.
+	if *traceJSON != "" || *metricsAddr != "" || *verbose {
+		lanes := *workers
+		if lanes < 1 {
+			lanes = runtime.GOMAXPROCS(0)
+		}
+		o := hep.NewObs(lanes)
+		o.SetMeta("input", *in)
+		o.SetMeta("algorithm", *algo)
+		o.SetMeta("k", *k)
+		o.SetMeta("workers", *workers)
+		cfg.Obs = o
+		if *metricsAddr != "" {
+			srv, addr, err := obs.ServeDebug(o, *metricsAddr)
+			fail(err)
+			defer srv.Close()
+			fmt.Fprintf(os.Stderr, "hep-partition: debug endpoints on http://%s/debug/\n", addr)
+		}
+		if *verbose {
+			defer obs.StartProgress(o, os.Stderr, time.Second).Stop()
+		}
 	}
 
 	discoverN := 0
@@ -93,6 +126,12 @@ func main() {
 	res, err := hep.PartitionStream(src, cfg)
 	fail(err)
 	elapsed := time.Since(start)
+
+	if *traceJSON != "" {
+		cfg.Obs.SetMeta("runtime_ms", elapsed.Milliseconds())
+		fail(cfg.Obs.WriteJSONFile(*traceJSON))
+		fmt.Fprintf(os.Stderr, "hep-partition: trace written to %s\n", *traceJSON)
+	}
 
 	s := hep.Summarize(*algo, res)
 	fmt.Printf("graph:               %s (%d vertices, %d edges)\n", *in, res.N, res.M)

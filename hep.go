@@ -52,6 +52,7 @@ import (
 	"hep/internal/metrics"
 	"hep/internal/mlp"
 	"hep/internal/ne"
+	"hep/internal/obs"
 	"hep/internal/ooc"
 	"hep/internal/part"
 	"hep/internal/restream"
@@ -78,7 +79,16 @@ type (
 	Sink = part.Sink
 	// Summary is the standard metric row (RF, balance, vertex balance).
 	Summary = metrics.Summary
+	// Obs is the runtime observability hook (internal/obs): phase spans,
+	// hot-path counters and machine-readable trace reports. A nil *Obs
+	// disables every instrumentation point at zero cost.
+	Obs = obs.Obs
 )
+
+// NewObs returns an observability hook sized for the given worker count
+// (one padded counter lane per worker; workers ≤ 0 gets one lane). Pass it
+// via Config.Obs, then read the trace with Obs.Report or Obs.WriteJSONFile.
+func NewObs(workers int) *Obs { return obs.New(workers) }
 
 // Algorithm names accepted by Config.Algorithm.
 const (
@@ -146,6 +156,12 @@ type Config struct {
 	MemBudget int64
 	// Sink, if set, receives every edge assignment.
 	Sink Sink
+	// Obs, if set, receives runtime observability from the algorithms that
+	// are instrumented (AlgoHEP, AlgoNEPP, AlgoHDRF, AlgoRestream,
+	// AlgoBuffered): phase spans with wall time and edge throughput, and
+	// hot-path counters folded at batch boundaries. nil disables every
+	// instrumentation point. Construct with NewObs.
+	Obs *Obs
 }
 
 // ParallelAlgorithms lists the Config.Algorithm values that accept
@@ -175,10 +191,10 @@ func New(cfg Config) (Algorithm, error) {
 	switch name {
 	case AlgoHEP:
 		a = &core.HEP{Tau: cfg.Tau, Alpha: cfg.Alpha, Lambda: cfg.Lambda, Seed: cfg.Seed,
-			Workers: shardWorkers(cfg), BuildWorkers: shardWorkers(cfg)}
+			Workers: shardWorkers(cfg), BuildWorkers: shardWorkers(cfg), Obs: cfg.Obs}
 	case AlgoNEPP:
 		a = &core.HEP{Tau: math.Inf(1), Alpha: cfg.Alpha, Lambda: cfg.Lambda,
-			Workers: shardWorkers(cfg), BuildWorkers: shardWorkers(cfg)}
+			Workers: shardWorkers(cfg), BuildWorkers: shardWorkers(cfg), Obs: cfg.Obs}
 	case AlgoNE:
 		a = &ne.NE{Seed: cfg.Seed}
 	case AlgoSNE:
@@ -188,7 +204,7 @@ func New(cfg Config) (Algorithm, error) {
 	case AlgoMETIS:
 		a = &mlp.MLP{Seed: cfg.Seed}
 	case AlgoHDRF:
-		a = &stream.HDRF{Lambda: cfg.Lambda, Alpha: cfg.Alpha, Workers: shardWorkers(cfg)}
+		a = &stream.HDRF{Lambda: cfg.Lambda, Alpha: cfg.Alpha, Workers: shardWorkers(cfg), Obs: cfg.Obs}
 	case AlgoDBH:
 		a = &stream.DBH{}
 	case AlgoGreedy:
@@ -207,10 +223,10 @@ func New(cfg Config) (Algorithm, error) {
 		a = &hybrid.Simple{Tau: tau, Seed: cfg.Seed}
 	case AlgoRestream:
 		a = &restream.Restream{Passes: cfg.Passes, Lambda: cfg.Lambda, Alpha: cfg.Alpha,
-			Workers: shardWorkers(cfg)}
+			Workers: shardWorkers(cfg), Obs: cfg.Obs}
 	case AlgoBuffered:
 		a = &ooc.Buffered{BufferEdges: cfg.Buffer, Lambda: cfg.Lambda, Alpha: cfg.Alpha,
-			Workers: shardWorkers(cfg)}
+			Workers: shardWorkers(cfg), Obs: cfg.Obs}
 	default:
 		return nil, fmt.Errorf("hep: unknown algorithm %q", name)
 	}
@@ -424,6 +440,11 @@ func PartitionStream(src EdgeStream, cfg Config) (*Result, error) {
 		}
 		defer store.Close()
 		h.H2HStore = store
+		res, err := a.Partition(src, cfg.K)
+		// The spill store's compressed size is only known once the build has
+		// written it; fold it after the run so the trace reports spill I/O.
+		cfg.Obs.Counters().Add(0, obs.CtrSpillBytes, store.Bytes())
+		return res, err
 	}
 	return a.Partition(src, cfg.K)
 }

@@ -45,6 +45,8 @@ func BuildCSRSharded(src graph.EdgeStream, tau float64, store graph.H2HStore, op
 	// bad edge fails the build promptly like the sequential pass.
 	outLanes := shard.NewLanes[int32](workers, n)
 	inLanes := shard.NewLanes[int32](workers, n)
+	outLanes.SetObs(opts.Obs)
+	inLanes.SetObs(opts.Obs)
 	var stop atomic.Bool
 	cws := make([]*countWorker, workers)
 	ws := make([]shard.BatchPlacer, workers)
@@ -53,7 +55,7 @@ func BuildCSRSharded(src graph.EdgeStream, tau float64, store graph.H2HStore, op
 		cws[i], ws[i] = w, w
 	}
 	var m int64
-	err := shard.Run(shard.AbortStream{EdgeStream: src, Stop: &stop}, ws, opts.BatchEdges, func(edges []graph.Edge, parts []int32) {
+	err := shard.Run(shard.AbortStream{EdgeStream: src, Stop: &stop}, ws, opts, func(edges []graph.Edge, parts []int32) {
 		m += int64(len(edges))
 	})
 	if err != nil {
@@ -94,7 +96,7 @@ func BuildCSRSharded(src graph.EdgeStream, tau float64, store graph.H2HStore, op
 	}
 	var fillStop atomic.Bool
 	var spillErr error
-	err = shard.Run(shard.AbortStream{EdgeStream: src, Stop: &fillStop}, fws, opts.BatchEdges, func(edges []graph.Edge, parts []int32) {
+	err = shard.Run(shard.AbortStream{EdgeStream: src, Stop: &fillStop}, fws, opts, func(edges []graph.Edge, parts []int32) {
 		if spillErr != nil {
 			return
 		}

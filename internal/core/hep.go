@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"hep/internal/graph"
+	"hep/internal/obs"
 	"hep/internal/part"
 	"hep/internal/shard"
 	"hep/internal/stream"
@@ -50,6 +51,11 @@ type HEP struct {
 	// Workers ≤ 1 keeps the exact sequential informed-HDRF pass.
 	Workers int
 
+	// Obs is the observability hook (nil = disabled): the CSR build, NE++
+	// and the h2h streaming phase record spans; the parallel build and
+	// streaming paths fold engine counters into it.
+	Obs *obs.Obs
+
 	// LastStats holds the NE++ statistics of the most recent run.
 	LastStats Stats
 }
@@ -86,10 +92,12 @@ func (h *HEP) Partition(src graph.EdgeStream, k int) (*part.Result, error) {
 	if bw < 1 {
 		bw = 1 // 0 keeps the sequential build (Resolve would mean all cores)
 	}
-	csr, err := BuildCSRSharded(src, tau, h.H2HStore, shard.Options{Workers: bw})
+	sp := h.Obs.Span("csr-build")
+	csr, err := BuildCSRSharded(src, tau, h.H2HStore, shard.Options{Workers: bw, Obs: h.Obs.Counters()})
 	if err != nil {
 		return nil, err
 	}
+	sp.Edges(csr.M()).End()
 	return h.PartitionCSR(csr, k)
 }
 
@@ -104,28 +112,35 @@ func (h *HEP) PartitionCSR(csr *graph.CSR, k int) (*part.Result, error) {
 	res := part.NewResult(csr.N(), k)
 	res.Sink = h.Sink
 
+	h.Obs.SetTotalEdges(csr.M())
+
 	// Phase 1: in-memory partitioning via NE++ (§3.2).
+	sp := h.Obs.Span("ne++")
 	ne := NewNEPP(csr, k, res, h.Tracer)
 	ne.Run()
 	h.LastStats = ne.Stats()
+	h.Obs.Counters().Add(0, obs.CtrEdgesStreamed, res.M)
+	sp.Edges(res.M).End()
 
 	// Phase 2: informed stateful streaming over E_h2h (§3.3). The replica
 	// sets in res carry the NE++ state, so HDRF placements are informed.
 	if csr.H2H().Len() > 0 {
 		h2h := h2hStream{store: csr.H2H(), n: csr.N()}
+		sp := h.Obs.Span("h2h-stream").Edges(csr.H2H().Len())
 		var err error
 		switch {
 		case h.RandomStream:
 			err = stream.RunRandom(h2h, res, h.Seed, alpha, csr.M())
 		case h.Workers > 1:
 			err = stream.RunHDRFParallel(h2h, res, csr.Degrees(), lambda, alpha, csr.M(),
-				shard.Options{Workers: h.Workers})
+				shard.Options{Workers: h.Workers, Obs: h.Obs.Counters()})
 		default:
 			err = stream.RunHDRF(h2h, res, csr.Degrees(), lambda, alpha, csr.M())
 		}
 		if err != nil {
 			return nil, err
 		}
+		sp.End()
 	}
 	return res, nil
 }

@@ -64,5 +64,5 @@ func TableBuffered(cfg Config) ([]TableBufferedRow, error) {
 		t.row(r.Algorithm, r.Dataset, r.Buffer, r.RF, r.Balance, r.Seconds, r.PeakBufMiB)
 	}
 	t.flush()
-	return rows, nil
+	return rows, cfg.report("ooc", rows)
 }

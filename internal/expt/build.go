@@ -80,7 +80,7 @@ func TableBuild(cfg Config) ([]TableBuildRow, error) {
 		t.row(r.Dataset, r.Tau, r.Workers, r.DegNsEdge, r.DegSpeedup, r.BuildNsEdge, r.BuildSpeedup)
 	}
 	t.flush()
-	return rows, nil
+	return rows, cfg.report("build", rows)
 }
 
 func speedup(seqNs, ns float64) float64 {

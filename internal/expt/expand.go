@@ -79,5 +79,5 @@ func TableExpand(cfg Config) ([]TableExpandRow, error) {
 		t.row(r.Dataset, r.K, r.Workers, r.NsEdge, r.Speedup, r.RF, r.Balance, r.Expanders)
 	}
 	t.flush()
-	return rows, nil
+	return rows, cfg.report("expand", rows)
 }

@@ -15,6 +15,7 @@ import (
 	"hep/internal/gen"
 	"hep/internal/graph"
 	"hep/internal/metrics"
+	"hep/internal/obs"
 	"hep/internal/part"
 )
 
@@ -37,6 +38,15 @@ type Config struct {
 	SkipSlow bool
 	// Out receives the rendered tables (default io.Discard).
 	Out io.Writer
+	// Report, if set, additionally collects every runner's rows as a named
+	// JSON table — the machine-readable twin of the text output, written by
+	// hep-bench -json. Nil skips collection (Add is a nil-safe no-op).
+	Report *obs.BenchReport
+}
+
+// report collects rows under name in the JSON report, if one is attached.
+func (c Config) report(name string, rows any) error {
+	return c.Report.Add(name, rows)
 }
 
 func (c Config) out() io.Writer {

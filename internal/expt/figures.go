@@ -68,7 +68,7 @@ func Figure2(cfg Config) ([]Fig2Row, error) {
 		t.row(r.Dataset, r.Bucket, r.FractionVertices, r.HDRF, r.NE)
 	}
 	t.flush()
-	return rows, nil
+	return rows, cfg.report("fig2", rows)
 }
 
 // Fig5Row is one dataset of Figure 5: average degree of core-set vs
@@ -110,7 +110,7 @@ func Figure5(cfg Config) ([]Fig5Row, error) {
 		t.row(r.Dataset, r.NormCore, r.NormSec)
 	}
 	t.flush()
-	return rows, nil
+	return rows, cfg.report("fig5", rows)
 }
 
 // Fig7Row is one dataset of Figure 7: the fraction of column-array entries
@@ -143,7 +143,7 @@ func Figure7(cfg Config) ([]Fig7Row, error) {
 		t.row(r.Dataset, r.Fraction)
 	}
 	t.flush()
-	return rows, nil
+	return rows, cfg.report("fig7", rows)
 }
 
 // Fig8Row is one (dataset, k, algorithm) cell of Figure 8.
@@ -229,7 +229,7 @@ func Figure8(cfg Config) ([]Fig8Row, error) {
 		t.row(r.Dataset, r.K, r.Algorithm, r.RF, r.Seconds, mib(r.HeapBytes), model, r.Balance)
 	}
 	t.flush()
-	return rows, nil
+	return rows, cfg.report("fig8", rows)
 }
 
 func fig8Algorithms() []part.Algorithm {
@@ -300,5 +300,5 @@ func Figure9(cfg Config) ([]Fig9Row, error) {
 		t.row(r.Dataset, r.Tau, r.K, r.RFRatio, r.TimeRatio, r.MemRatio, r.H2HFraction)
 	}
 	t.flush()
-	return rows, nil
+	return rows, cfg.report("fig9", rows)
 }

@@ -81,5 +81,5 @@ func TableShard(cfg Config) ([]TableShardRow, error) {
 		t.row(r.Dataset, r.K, r.Workers, r.NsEdge, r.Speedup, r.RF, r.Balance)
 	}
 	t.flush()
-	return rows, nil
+	return rows, cfg.report("shard", rows)
 }

@@ -61,5 +61,5 @@ func TableState(cfg Config) ([]TableStateRow, error) {
 		t.row(r.Dataset, r.K, r.NsEdge, r.TableMiB, r.PartMajorMiB, r.WorstMiB, r.Pages, r.RF)
 	}
 	t.flush()
-	return rows, nil
+	return rows, cfg.report("state", rows)
 }

@@ -48,7 +48,7 @@ func Table2(cfg Config) ([]Table2Row, error) {
 		t.row(r.Dataset, r.Seconds, r.Points)
 	}
 	t.flush()
-	return rows, nil
+	return rows, cfg.report("table2", rows)
 }
 
 // Table3Row describes one synthetic dataset stand-in.
@@ -83,7 +83,7 @@ func Table3(cfg Config) ([]Table3Row, error) {
 		t.row(r.Dataset, r.Kind, r.Vertices, r.Edges, r.SizeMiB, r.Paper)
 	}
 	t.flush()
-	return rows, nil
+	return rows, cfg.report("table3", rows)
 }
 
 // Table4Row is one (algorithm, dataset) row of Table 4: partitioning time,
@@ -145,7 +145,7 @@ func Table4(cfg Config) ([]Table4Row, error) {
 		t.row(r.Algorithm, r.Dataset, r.PartSeconds, r.RF, r.PageRankSec, r.BFSSec, r.CCSec)
 	}
 	t.flush()
-	return rows, nil
+	return rows, cfg.report("table4", rows)
 }
 
 // Table5Row is one (algorithm, dataset) vertex-balance entry.
@@ -182,7 +182,7 @@ func Table5(cfg Config) ([]Table5Row, error) {
 		t.row(r.Algorithm, r.Dataset, r.VertexBalance)
 	}
 	t.flush()
-	return rows, nil
+	return rows, cfg.report("table5", rows)
 }
 
 // Table6Row is one memory restriction of the paging experiment.
@@ -230,5 +230,5 @@ func Table6(cfg Config) ([]Table6Row, error) {
 		t.row(mib(r.MemBytes), r.HardFaults, r.CPUSeconds, r.RunSeconds)
 	}
 	t.flush()
-	return rows, nil
+	return rows, cfg.report("table6", rows)
 }

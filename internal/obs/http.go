@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// The expvar package keeps one global registry and panics on duplicate
+// Publish, so the hep vars are published exactly once and read through an
+// atomically-swapped current-Obs pointer. Every accessor below is nil-safe,
+// so the vars are scrapable even before a run installs its Obs.
+var (
+	currentObs  atomic.Pointer[Obs]
+	publishOnce sync.Once
+)
+
+// ServeDebug starts the `-metrics-addr` debug listener: expvar
+// (/debug/vars, including live hep_counters/hep_gauges), the pprof suite
+// (/debug/pprof/), and the live trace report (/debug/trace.json). Returns
+// the server (Close it to stop) and the bound address (useful with ":0").
+func ServeDebug(o *Obs, addr string) (*http.Server, net.Addr, error) {
+	currentObs.Store(o)
+	publishOnce.Do(func() {
+		expvar.Publish("hep_counters", expvar.Func(func() any {
+			return currentObs.Load().Counters().CounterSnapshot()
+		}))
+		expvar.Publish("hep_gauges", expvar.Func(func() any {
+			return currentObs.Load().Counters().GaugeSnapshot()
+		}))
+	})
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/trace.json", func(w http.ResponseWriter, r *http.Request) {
+		rep := currentObs.Load().Report()
+		if rep == nil {
+			http.Error(w, "no active trace", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		rep.WriteJSON(w)
+	})
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return srv, ln.Addr(), nil
+}

@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// TraceSchema is the schema tag of the machine-readable trace report. Bump
+// the version when a field changes meaning; additions are backwards
+// compatible (consumers must ignore unknown fields).
+const TraceSchema = "hep-trace/v1"
+
+// BenchSchema is the schema tag of the hep-bench table report.
+const BenchSchema = "hep-bench/v1"
+
+// Report is the machine-readable run report: the phase timeline plus the
+// final counter/gauge totals. This is the format `-trace-json` writes and
+// BENCH_*.json snapshots embed.
+type Report struct {
+	Schema       string           `json:"schema"`
+	Meta         map[string]any   `json:"meta,omitempty"`
+	TotalEdges   int64            `json:"total_edges,omitempty"`
+	Spans        []SpanRecord     `json:"spans"`
+	DroppedSpans int64            `json:"dropped_spans,omitempty"`
+	Counters     map[string]int64 `json:"counters"`
+	Gauges       map[string]int64 `json:"gauges"`
+}
+
+// Report assembles the current trace state into a Report. Nil-safe (returns
+// nil). Safe to call while a run is in flight — open spans appear with
+// end_ns == -1 and counters are a live snapshot.
+func (o *Obs) Report() *Report {
+	if o == nil {
+		return nil
+	}
+	spans := o.Spans()
+	o.mu.Lock()
+	meta := make(map[string]any, len(o.meta))
+	for k, v := range o.meta {
+		meta[k] = v
+	}
+	dropped := o.dropped
+	total := o.totalEdges
+	o.mu.Unlock()
+	return &Report{
+		Schema:       TraceSchema,
+		Meta:         meta,
+		TotalEdges:   total,
+		Spans:        spans,
+		DroppedSpans: dropped,
+		Counters:     o.c.CounterSnapshot(),
+		Gauges:       o.c.GaugeSnapshot(),
+	}
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteJSONFile writes the current report to path (the `-trace-json` flag).
+// Nil-safe: a nil Obs writes nothing and returns nil.
+func (o *Obs) WriteJSONFile(path string) error {
+	if o == nil {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := o.Report().WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ValidateReport structurally validates raw trace-JSON against the
+// hep-trace/v1 schema: schema tag, span tree well-formedness (parents
+// precede children, depths consistent, closed spans end after they start)
+// and counter/gauge name validity. This is what the CI end-to-end job runs
+// against a fresh `-trace-json` output.
+func ValidateReport(data []byte) error {
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return fmt.Errorf("trace json: %w", err)
+	}
+	if r.Schema != TraceSchema {
+		return fmt.Errorf("trace json: schema %q, want %q", r.Schema, TraceSchema)
+	}
+	if r.Counters == nil {
+		return fmt.Errorf("trace json: missing counters object")
+	}
+	if r.Gauges == nil {
+		return fmt.Errorf("trace json: missing gauges object")
+	}
+	known := make(map[string]bool, NumCounters)
+	for id := CounterID(0); id < NumCounters; id++ {
+		known[id.String()] = true
+	}
+	for name := range r.Counters {
+		if !known[name] {
+			return fmt.Errorf("trace json: unknown counter %q", name)
+		}
+	}
+	knownG := make(map[string]bool, NumGauges)
+	for g := GaugeID(0); g < NumGauges; g++ {
+		knownG[g.String()] = true
+	}
+	for name := range r.Gauges {
+		if !knownG[name] {
+			return fmt.Errorf("trace json: unknown gauge %q", name)
+		}
+	}
+	for i, s := range r.Spans {
+		if s.Name == "" {
+			return fmt.Errorf("trace json: span %d: empty name", i)
+		}
+		switch {
+		case s.Parent == -1:
+			if s.Depth != 0 {
+				return fmt.Errorf("trace json: span %d (%s): root with depth %d", i, s.Name, s.Depth)
+			}
+		case s.Parent >= 0 && s.Parent < i:
+			p := r.Spans[s.Parent]
+			if s.Depth != p.Depth+1 {
+				return fmt.Errorf("trace json: span %d (%s): depth %d under parent depth %d", i, s.Name, s.Depth, p.Depth)
+			}
+			if s.StartNs < p.StartNs {
+				return fmt.Errorf("trace json: span %d (%s): starts before its parent", i, s.Name)
+			}
+		default:
+			return fmt.Errorf("trace json: span %d (%s): parent %d out of range", i, s.Name, s.Parent)
+		}
+		if s.EndNs != -1 && s.EndNs < s.StartNs {
+			return fmt.Errorf("trace json: span %d (%s): ends before it starts", i, s.Name)
+		}
+	}
+	return nil
+}
+
+// BenchReport is the hep-bench `-json` output: every experiment table the
+// run produced, as raw rows whose field order follows the table's row
+// struct — stable across runs so snapshots diff cleanly.
+type BenchReport struct {
+	Schema string         `json:"schema"`
+	Meta   map[string]any `json:"meta,omitempty"`
+	Tables []BenchTable   `json:"tables"`
+}
+
+// BenchTable is one named experiment table.
+type BenchTable struct {
+	Name string          `json:"name"`
+	Rows json.RawMessage `json:"rows"`
+}
+
+// NewBenchReport returns an empty bench report carrying meta.
+func NewBenchReport(meta map[string]any) *BenchReport {
+	return &BenchReport{Schema: BenchSchema, Meta: meta}
+}
+
+// Add marshals rows (any slice of row structs) into a named table. Nil-safe:
+// adding to a nil report is a no-op, so experiment runners can call it
+// unconditionally.
+func (r *BenchReport) Add(name string, rows any) error {
+	if r == nil {
+		return nil
+	}
+	raw, err := json.Marshal(rows)
+	if err != nil {
+		return fmt.Errorf("bench table %s: %w", name, err)
+	}
+	r.Tables = append(r.Tables, BenchTable{Name: name, Rows: raw})
+	return nil
+}
+
+// WriteJSON writes the bench report as indented JSON. Nil-safe.
+func (r *BenchReport) WriteJSON(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

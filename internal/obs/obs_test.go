@@ -1,0 +1,270 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeObs returns an enabled hub with deterministic time/memory sources: the
+// clock advances 1ms per observation, cumulative allocation grows 1MiB per
+// memory snapshot, live heap and peak RSS are constants.
+func fakeObs(w int) *Obs {
+	o := New(w)
+	base := time.Unix(1700000000, 0)
+	o.t0 = base
+	var tick int64
+	o.now = func() time.Time {
+		tick++
+		return base.Add(time.Duration(tick) * time.Millisecond)
+	}
+	var total uint64
+	o.mem = func() (uint64, uint64) {
+		total += 1 << 20
+		return 64 << 20, total
+	}
+	o.rss = func() int64 { return 256 << 20 }
+	return o
+}
+
+// TestSpanNesting pins the span tree the tracer records: parents precede
+// children, depths follow the stack, siblings share a parent, and start
+// times are monotone in open order.
+func TestSpanNesting(t *testing.T) {
+	o := fakeObs(1)
+	root := o.Span("root")
+	child := o.Span("child")
+	grand := o.Span("grand")
+	grand.End()
+	child.End()
+	sib := o.Span("sibling")
+	sib.End()
+	root.End()
+	second := o.Span("second-root")
+	second.End()
+
+	spans := o.Spans()
+	want := []struct {
+		name   string
+		parent int
+		depth  int
+	}{
+		{"root", -1, 0},
+		{"child", 0, 1},
+		{"grand", 1, 2},
+		{"sibling", 0, 1},
+		{"second-root", -1, 0},
+	}
+	if len(spans) != len(want) {
+		t.Fatalf("recorded %d spans, want %d", len(spans), len(want))
+	}
+	for i, w := range want {
+		s := spans[i]
+		if s.Name != w.name || s.Parent != w.parent || s.Depth != w.depth {
+			t.Errorf("span %d = {%s parent=%d depth=%d}, want {%s parent=%d depth=%d}",
+				i, s.Name, s.Parent, s.Depth, w.name, w.parent, w.depth)
+		}
+		if s.EndNs < s.StartNs {
+			t.Errorf("span %s ends (%d) before it starts (%d)", s.Name, s.EndNs, s.StartNs)
+		}
+		if i > 0 && s.StartNs < spans[i-1].StartNs {
+			t.Errorf("span %s starts before its predecessor", s.Name)
+		}
+		if s.AllocBytes <= 0 || s.HeapBytes != 64<<20 || s.PeakRSSBytes != 256<<20 {
+			t.Errorf("span %s memory snapshot = alloc %d heap %d rss %d",
+				s.Name, s.AllocBytes, s.HeapBytes, s.PeakRSSBytes)
+		}
+	}
+}
+
+// TestSpanEndForceClosesChildren pins the error-path guarantee: ending an
+// outer span closes every span still open inside it, with a shared end
+// stamp, so an early return cannot corrupt the nesting for later phases.
+func TestSpanEndForceClosesChildren(t *testing.T) {
+	o := fakeObs(1)
+	root := o.Span("root")
+	o.Span("leaked-child")
+	o.Span("leaked-grand")
+	root.End()
+
+	spans := o.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("recorded %d spans, want 3", len(spans))
+	}
+	for _, s := range spans {
+		if s.EndNs < 0 {
+			t.Errorf("span %s still open after root.End", s.Name)
+		}
+		if s.EndNs != spans[0].EndNs {
+			t.Errorf("span %s end %d, want the shared stamp %d", s.Name, s.EndNs, spans[0].EndNs)
+		}
+	}
+	// The tracer must be reusable after the force-close.
+	next := o.Span("next")
+	next.End()
+	if got := o.Spans(); len(got) != 4 || got[3].Parent != -1 {
+		t.Fatalf("post-recovery span = %+v", got[len(got)-1])
+	}
+}
+
+// TestSpanCap pins the bounded-trace guarantee: spans past maxSpans are
+// dropped (nil handle, no growth) and counted in the report.
+func TestSpanCap(t *testing.T) {
+	o := fakeObs(1)
+	const extra = 7
+	for i := 0; i < maxSpans+extra; i++ {
+		o.Span(fmt.Sprintf("s%d", i)).End()
+	}
+	if n := len(o.Spans()); n != maxSpans {
+		t.Fatalf("stored %d spans, want the %d cap", n, maxSpans)
+	}
+	if r := o.Report(); r.DroppedSpans != extra {
+		t.Fatalf("dropped %d spans, want %d", r.DroppedSpans, extra)
+	}
+}
+
+// TestSpanNotify pins the progress-notifier event stream: one start and one
+// end event per span, in transition order, with duration and edges on ends.
+func TestSpanNotify(t *testing.T) {
+	o := fakeObs(1)
+	var events []SpanEvent
+	o.SetNotify(func(ev SpanEvent) { events = append(events, ev) })
+	sp := o.Span("stream")
+	sp.Edges(42).End()
+
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2", len(events))
+	}
+	if events[0].End || events[0].Name != "stream" || events[0].Depth != 0 {
+		t.Errorf("start event = %+v", events[0])
+	}
+	if !events[1].End || events[1].Edges != 42 || events[1].WallNs <= 0 {
+		t.Errorf("end event = %+v", events[1])
+	}
+}
+
+// TestDisabledHotPathAllocates0 is the disabled-must-be-free pin: the full
+// instrumentation surface on a nil hub — spans, counters, gauges, totals —
+// allocates nothing.
+func TestDisabledHotPathAllocates0(t *testing.T) {
+	var o *Obs
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := o.Span("phase")
+		sp.Edges(1).Bytes(2)
+		sp.End()
+		c := o.Counters()
+		c.Add(0, CtrEdgesStreamed, 512)
+		c.SetMax(GaugePeakExpanders, 4)
+		if c.Total(CtrEdgesStreamed) != 0 || c.Gauge(GaugePeakExpanders) != 0 {
+			t.Fatal("nil counters returned nonzero")
+		}
+		o.SetTotalEdges(100)
+		o.SetMeta("k", 32)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled hot path allocates %.1f per run, want 0", allocs)
+	}
+}
+
+// TestEnabledCounterAddAllocates0 pins that the enabled fold path is also
+// allocation-free: an Add at a batch boundary is one atomic add.
+func TestEnabledCounterAddAllocates0(t *testing.T) {
+	c := NewCounters(4)
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Add(2, CtrEdgesStreamed, 4096)
+		c.Add(2, CtrBatches, 1)
+		c.SetMax(GaugePeakBufferBytes, 1<<20)
+	})
+	if allocs != 0 {
+		t.Fatalf("enabled fold path allocates %.1f per run, want 0", allocs)
+	}
+}
+
+// TestCountersConcurrentFold drives W writer goroutines against their own
+// lanes while a reader scrapes totals — the engine's fold discipline under
+// the race detector. Totals must come out exact and the gauge must keep the
+// maximum.
+func TestCountersConcurrentFold(t *testing.T) {
+	for _, workers := range []int{2, 4, 8} {
+		t.Run(fmt.Sprintf("W=%d", workers), func(t *testing.T) {
+			c := NewCounters(workers)
+			const folds = 2000
+			var writers, scraper sync.WaitGroup
+			stop := make(chan struct{})
+			scraper.Add(1)
+			go func() { // concurrent scraper: totals must be safe mid-run
+				defer scraper.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+						c.Total(CtrEdgesStreamed)
+						c.CounterSnapshot()
+					}
+				}
+			}()
+			for w := 0; w < workers; w++ {
+				writers.Add(1)
+				go func(w int) {
+					defer writers.Done()
+					for i := 0; i < folds; i++ {
+						c.Add(w, CtrEdgesStreamed, 3)
+						c.Add(w, CtrBatches, 1)
+						c.SetMax(GaugePeakExpanders, int64(w+1))
+					}
+				}(w)
+			}
+			writers.Wait()
+			close(stop)
+			scraper.Wait()
+
+			if got := c.Total(CtrEdgesStreamed); got != int64(workers)*folds*3 {
+				t.Errorf("edges total %d, want %d", got, int64(workers)*folds*3)
+			}
+			if got := c.Total(CtrBatches); got != int64(workers)*folds {
+				t.Errorf("batch total %d, want %d", got, int64(workers)*folds)
+			}
+			if got := c.Gauge(GaugePeakExpanders); got != int64(workers) {
+				t.Errorf("gauge %d, want %d", got, workers)
+			}
+		})
+	}
+}
+
+// TestCountersLaneClamp pins the out-of-range discipline: worker ids beyond
+// the lane count clamp to the last lane instead of panicking, and negative
+// ids clamp to lane 0.
+func TestCountersLaneClamp(t *testing.T) {
+	c := NewCounters(2)
+	c.Add(99, CtrFolds, 5)
+	c.Add(-3, CtrFolds, 7)
+	if got := c.Total(CtrFolds); got != 12 {
+		t.Fatalf("total %d, want 12", got)
+	}
+	if c0 := NewCounters(0); c0.Lanes() != 1 {
+		t.Fatalf("zero-worker counters got %d lanes, want 1", c0.Lanes())
+	}
+}
+
+// TestCounterNamesStable pins the machine-readable names: every counter and
+// gauge has a unique non-"unknown" snake_case name — renaming one is a
+// trace-schema break that must be deliberate.
+func TestCounterNamesStable(t *testing.T) {
+	seen := map[string]bool{}
+	for id := CounterID(0); id < NumCounters; id++ {
+		n := id.String()
+		if n == "" || n == "unknown" || seen[n] {
+			t.Errorf("counter %d has bad or duplicate name %q", id, n)
+		}
+		seen[n] = true
+	}
+	for g := GaugeID(0); g < NumGauges; g++ {
+		n := g.String()
+		if n == "" || n == "unknown" || seen[n] {
+			t.Errorf("gauge %d has bad or duplicate name %q", g, n)
+		}
+		seen[n] = true
+	}
+}

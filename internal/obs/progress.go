@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Progress is the human `-v` reporter: phase transitions as they happen plus
+// a periodic edges/s + ETA line, both on one writer (stderr in the CLIs).
+// It reads the same counters the trace report snapshots, so what it prints
+// is what the JSON will say.
+type Progress struct {
+	o        *Obs
+	w        io.Writer
+	interval time.Duration
+
+	mu      sync.Mutex
+	current string
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+// StartProgress attaches a progress reporter to o, printing to w every
+// interval (0 = every second). Returns nil for a nil Obs; a nil *Progress
+// is safe to Stop.
+func StartProgress(o *Obs, w io.Writer, interval time.Duration) *Progress {
+	if o == nil {
+		return nil
+	}
+	if interval <= 0 {
+		interval = time.Second
+	}
+	p := &Progress{
+		o:        o,
+		w:        w,
+		interval: interval,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	o.SetNotify(p.onSpan)
+	go p.loop()
+	return p
+}
+
+// Stop detaches the reporter and waits for its ticker goroutine. Nil-safe.
+func (p *Progress) Stop() {
+	if p == nil {
+		return
+	}
+	p.o.SetNotify(nil)
+	close(p.stop)
+	<-p.done
+}
+
+func (p *Progress) onSpan(ev SpanEvent) {
+	indent := strings.Repeat("  ", ev.Depth)
+	p.mu.Lock()
+	if ev.End {
+		line := fmt.Sprintf("[hep] %sdone  %-14s %8s", indent, ev.Name, fmtDur(ev.WallNs))
+		if ev.Edges > 0 && ev.WallNs > 0 {
+			rate := float64(ev.Edges) / (float64(ev.WallNs) / 1e9)
+			line += fmt.Sprintf("  %s edges  %s edges/s", fmtCount(ev.Edges), fmtCount(int64(rate)))
+		}
+		fmt.Fprintln(p.w, line)
+		if p.current == ev.Name {
+			p.current = ""
+		}
+	} else {
+		fmt.Fprintf(p.w, "[hep] %sphase %s\n", indent, ev.Name)
+		p.current = ev.Name
+	}
+	p.mu.Unlock()
+}
+
+func (p *Progress) loop() {
+	defer close(p.done)
+	tick := time.NewTicker(p.interval)
+	defer tick.Stop()
+	start := time.Now()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-tick.C:
+			p.report(time.Since(start))
+		}
+	}
+}
+
+// report prints the periodic progress line: current phase, streamed edges,
+// throughput, and (when SetTotalEdges gave a denominator) percentage + ETA.
+func (p *Progress) report(elapsed time.Duration) {
+	streamed := p.o.Counters().Total(CtrEdgesStreamed)
+	if streamed == 0 {
+		return
+	}
+	p.o.mu.Lock()
+	total := p.o.totalEdges
+	p.o.mu.Unlock()
+	rate := float64(streamed) / elapsed.Seconds()
+
+	p.mu.Lock()
+	phase := p.current
+	if phase == "" {
+		phase = "running"
+	}
+	line := fmt.Sprintf("[hep] %s: %s edges", phase, fmtCount(streamed))
+	if total > 0 {
+		pct := 100 * float64(streamed) / float64(total)
+		if pct > 100 {
+			pct = 100 // restream passes revisit edges; don't promise >100%
+		}
+		line += fmt.Sprintf(" (%.0f%%)", pct)
+	}
+	line += fmt.Sprintf("  %s edges/s", fmtCount(int64(rate)))
+	if total > streamed && rate > 0 {
+		eta := time.Duration(float64(total-streamed) / rate * 1e9)
+		line += fmt.Sprintf("  ETA %s", fmtDur(eta.Nanoseconds()))
+	}
+	fmt.Fprintln(p.w, line)
+	p.mu.Unlock()
+}
+
+// fmtDur renders nanoseconds compactly (1.23s / 45ms / 678µs).
+func fmtDur(ns int64) string {
+	d := time.Duration(ns)
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%dms", d.Milliseconds())
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}
+
+// fmtCount renders a count compactly (1.2M / 34.5k / 678).
+func fmtCount(n int64) string {
+	switch {
+	case n >= 1_000_000_000:
+		return fmt.Sprintf("%.2fG", float64(n)/1e9)
+	case n >= 1_000_000:
+		return fmt.Sprintf("%.1fM", float64(n)/1e6)
+	case n >= 10_000:
+		return fmt.Sprintf("%.1fk", float64(n)/1e3)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"hep/internal/dne"
 	"hep/internal/graph"
+	"hep/internal/obs"
 	"hep/internal/part"
 	"hep/internal/pstate"
 	"hep/internal/shard"
@@ -153,6 +154,12 @@ type Buffered struct {
 	// concurrently (0 = default 16Ki edges; below it sequential expansion
 	// wins).
 	ParallelExpandMin int
+	// Obs is the observability hook (nil = disabled): the degree pass and
+	// the buffered streaming loop record phase spans, and every LastStats
+	// event additionally folds into the obs counter lanes at batch
+	// boundaries — the single observability surface LastStats is the
+	// per-run view of.
+	Obs *obs.Obs
 
 	// LastStats holds the statistics of the most recent run.
 	LastStats BufferedStats
@@ -166,6 +173,12 @@ type Buffered struct {
 	// region grant; a non-nil error aborts the batch. Test-only: the race
 	// suite uses it to verify the abort discipline.
 	expandFault func(worker int) error
+	// legacyRepeatWarm makes concurrent repeat regions reuse the batch-start
+	// bucket index instead of rescanning the live replica table — the
+	// pre-fix behavior, which misses every replica the partition's earlier
+	// region added this batch. Test-only: the repeat-region regression test
+	// pins the fixed warm start against this path.
+	legacyRepeatWarm bool
 }
 
 // Name implements part.Algorithm.
@@ -235,6 +248,12 @@ type batchState struct {
 	// fbEdges gathers the leftover edges for the parallel fallback
 	// (allocated lazily on the first parallel fallback, charged always).
 	fbEdges []graph.Edge
+
+	// fbEngineEdges counts the edges of the current batch the parallel
+	// fallback routed through the sharded engine, which folds them into
+	// CtrEdgesStreamed itself — the batch-boundary fold subtracts them so
+	// the progress signal counts every edge exactly once.
+	fbEngineEdges int64
 }
 
 func newBatchState(bufEdges, k int) *batchState {
@@ -312,10 +331,13 @@ func (b *Buffered) Partition(src graph.EdgeStream, k int) (*part.Result, error) 
 	// Exact chunked degree pass; with Workers > 1 it fans out through the
 	// batch engine's reduction lanes (bit-identical output, see
 	// DegreePassParallel).
-	deg, m, err := DegreePassParallel(src, shard.Options{Workers: b.workersOrOne()})
+	sp := b.Obs.Span("degree-pass")
+	deg, m, err := DegreePassParallel(src, shard.Options{Workers: b.workersOrOne(), Obs: b.Obs.Counters()})
 	if err != nil {
 		return nil, err
 	}
+	sp.Edges(m).End()
+	b.Obs.SetTotalEdges(2 * m) // degree pass + partition pass
 	if m > 0 && int64(bufEdges) > m {
 		bufEdges = int(m) // no point sizing the buffer past the graph
 	}
@@ -343,9 +365,11 @@ func (b *Buffered) Partition(src graph.EdgeStream, k int) (*part.Result, error) 
 		if by := st.bytes(); by > b.LastStats.PeakBufferBytes {
 			b.LastStats.PeakBufferBytes = by
 		}
+		b.Obs.Counters().SetMax(obs.GaugePeakBufferBytes, b.LastStats.PeakBufferBytes)
 		st.batch = st.batch[:0]
 		return nil
 	}
+	sp = b.Obs.Span("expand-stream")
 	var batchErr error
 	err = src.Edges(func(u, v graph.V) bool {
 		st.batch = append(st.batch, graph.Edge{U: u, V: v})
@@ -366,12 +390,15 @@ func (b *Buffered) Partition(src graph.EdgeStream, k int) (*part.Result, error) 
 			return nil, err
 		}
 	}
+	sp.Edges(m).End()
 	return res, nil
 }
 
 // processBatch builds the mini-CSR over st.batch and places every batch edge.
 func (b *Buffered) processBatch(st *batchState, localID []int32, res *part.Result, deg []int32, lambda float64, capacity int64) error {
 	b.LastStats.Batches++
+	pre := b.LastStats
+	st.fbEngineEdges = 0
 	batch := st.batch
 
 	// Local vertex ids and batch degrees (udeg doubles as the degree
@@ -451,6 +478,24 @@ func (b *Buffered) processBatch(st *batchState, localID []int32, res *part.Resul
 	for _, g := range st.verts {
 		localID[g] = -1
 	}
+
+	// Batch-boundary fold: every LastStats delta this batch produced goes
+	// into the obs counter lanes in one pass, keeping the hot loops above
+	// counter-free. Edges the parallel fallback already streamed through the
+	// engine (which folds its own totals) are subtracted from the progress
+	// signal.
+	c := b.Obs.Counters()
+	c.Add(0, obs.CtrBatches, 1)
+	c.Add(0, obs.CtrEdgesStreamed, int64(len(batch))-st.fbEngineEdges)
+	c.Add(0, obs.CtrRegions, b.LastStats.Regions-pre.Regions)
+	c.Add(0, obs.CtrExpansionEdges, b.LastStats.ExpansionEdges-pre.ExpansionEdges)
+	c.Add(0, obs.CtrFallbackEdges, b.LastStats.FallbackEdges-pre.FallbackEdges)
+	c.Add(0, obs.CtrWarmMaskPasses, b.LastStats.WarmMaskPasses-pre.WarmMaskPasses)
+	c.Add(0, obs.CtrWarmScanProbes, b.LastStats.WarmScanProbes-pre.WarmScanProbes)
+	c.Add(0, obs.CtrWarmRescans, b.LastStats.WarmRescans-pre.WarmRescans)
+	c.Add(0, obs.CtrParallelBatches, int64(b.LastStats.ParallelBatches-pre.ParallelBatches))
+	c.Add(0, obs.CtrWarmSpills, int64(len(st.buckets.Overflow())))
+	c.SetMax(obs.GaugePeakExpanders, int64(b.LastStats.PeakExpanders))
 	return nil
 }
 
@@ -554,8 +599,9 @@ func (b *Buffered) fallbackParallel(st *batchState, res *part.Result, deg []int3
 		st.assigned[i] = true
 	}
 	b.LastStats.FallbackEdges += int64(len(st.fbEdges))
+	st.fbEngineEdges = int64(len(st.fbEdges))
 	stream.RunHDRFParallelEdges(st.fbEdges, res, deg, lambda, capacity,
-		shard.Options{Workers: b.Workers})
+		shard.Options{Workers: b.Workers, Obs: b.Obs.Counters()})
 	return true
 }
 

@@ -71,7 +71,7 @@ func (b *Buffered) expandParallel(st *batchState, res *part.Result, capacity int
 		quotaBase = 1
 	}
 
-	sh := res.Shared(workers)
+	sh := res.Shared(workers).SetObs(b.Obs.Counters())
 	plan := newExpandPlan(sh.Loads, res.K, capacity, quotaBase, int64(nb))
 
 	// Every worker claims its first partition before any region grows, so a
@@ -90,7 +90,7 @@ func (b *Buffered) expandParallel(st *batchState, res *part.Result, capacity int
 			// other, which is pure replication-factor loss.
 			ex.seedBase = int32(w * len(st.verts) / workers)
 			ex.seedCur = 0
-			p, quota, ok := plan.next(w, -1)
+			p, quota, repeat, ok := plan.next(w, -1)
 			barrier.Done()
 			barrier.Wait()
 			for ok {
@@ -103,7 +103,7 @@ func (b *Buffered) expandParallel(st *batchState, res *part.Result, capacity int
 					plan.release(w, p)
 					return
 				}
-				placed := b.growRegionConcurrent(st, ex, sh, plan, w, p, quota)
+				placed := b.growRegionConcurrent(st, ex, sh, plan, w, p, quota, repeat)
 				if placed == 0 {
 					plan.release(w, p)
 					return // seeds exhausted: the batch has nothing left to grow
@@ -114,7 +114,7 @@ func (b *Buffered) expandParallel(st *batchState, res *part.Result, capacity int
 				// peers hold sit excluded from granting until the batch is
 				// nearly exhausted — pure quality loss, no throughput win.
 				runtime.Gosched()
-				p, quota, ok = plan.next(w, p)
+				p, quota, repeat, ok = plan.next(w, p)
 			}
 		}(w)
 	}
@@ -122,6 +122,7 @@ func (b *Buffered) expandParallel(st *batchState, res *part.Result, capacity int
 
 	b.LastStats.Regions += int64(plan.regions)
 	b.LastStats.WarmScanProbes += plan.probes.Load()
+	b.LastStats.WarmRescans += plan.rescans.Load()
 	b.LastStats.ParallelBatches++
 	if plan.peak > b.LastStats.PeakExpanders {
 		b.LastStats.PeakExpanders = plan.peak
@@ -149,13 +150,23 @@ func (b *Buffered) expandParallel(st *batchState, res *part.Result, capacity int
 
 // growRegionConcurrent grows one region into partition p against the shared
 // claim array. Structure mirrors the sequential growRegion; membership and
-// the heap are worker-private, every edge acquisition is a CAS.
-func (b *Buffered) growRegionConcurrent(st *batchState, ex *expanderState, sh *part.Shared, plan *expandPlan, w, p int, quota int64) int {
+// the heap are worker-private, every edge acquisition is a CAS. repeat means
+// p already had a region this batch: its replicas in the live table postdate
+// the batch-start bucket index, so the warm start rescans instead of reading
+// stale buckets (the concurrent analog of seqWarmCandidates' rescan path).
+func (b *Buffered) growRegionConcurrent(st *batchState, ex *expanderState, sh *part.Shared, plan *expandPlan, w, p int, quota int64, repeat bool) int {
 	var placed int64
 	ex.heap.Reset()
 	ex.touched = ex.touched[:0]
 
-	cands, probes := st.warmInto(ex.cands[:0], sh.Table, p)
+	var cands []int32
+	var probes int64
+	if repeat && !b.legacyRepeatWarm {
+		cands, probes = st.warmRescan(ex.cands[:0], sh.Table, p)
+		plan.rescans.Add(1)
+	} else {
+		cands, probes = st.warmInto(ex.cands[:0], sh.Table, p)
+	}
 	plan.probes.Add(probes)
 	for _, v := range cands {
 		if placed >= quota || plan.stop.Load() {

@@ -95,6 +95,80 @@ func TestWarmStartProbeRegression(t *testing.T) {
 	}
 }
 
+// TestRepeatRegionWarmRescan pins the repeat-region warm start: when the
+// plan grants the same partition a second region within one batch (forced
+// here by saturating k−2 partitions, so a four-region budget must re-grant
+// each of the two admissible partitions), the second region rescans the live
+// replica table — the batch-start bucket index predates every replica the
+// partition's first region placed. legacyRepeatWarm keeps the pre-fix
+// stale-bucket behavior compilable so the regression stays visible: missing
+// those fresh replicas must never cost replication factor.
+func TestRepeatRegionWarmRescan(t *testing.T) {
+	g := gen.MustDataset("OK").Build(0.05)
+	var edges []graph.Edge
+	if err := g.Edges(func(u, v graph.V) bool {
+		edges = append(edges, graph.Edge{U: u, V: v})
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	n := g.NumVertices()
+	deg, m, err := graph.Degrees(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 4
+	capacity := m // loose bound: the two live partitions never clamp a quota
+
+	run := func(legacy bool) (*part.Result, BufferedStats) {
+		b := &Buffered{Workers: 2, ParallelExpandMin: 1, legacyRepeatWarm: legacy}
+		st := newBatchState(len(edges), k)
+		st.batch = append(st.batch[:0], edges...)
+		// Two synthetic vertices (outside the batch) saturate partitions 2
+		// and 3 before the batch runs, leaving partitions 0 and 1 as the only
+		// admissible grant targets.
+		res := part.NewResult(n+2, k)
+		for i := int64(0); i < capacity; i++ {
+			res.Assign(graph.V(n), graph.V(n+1), 2)
+			res.Assign(graph.V(n), graph.V(n+1), 3)
+		}
+		localID := make([]int32, n+2)
+		for i := range localID {
+			localID[i] = -1
+		}
+		if err := b.processBatch(st, localID, res, deg, 1.1, capacity); err != nil {
+			t.Fatal(err)
+		}
+		return res, b.LastStats
+	}
+
+	resFixed, stFixed := run(false)
+	resLegacy, stLegacy := run(true)
+
+	if stFixed.WarmRescans == 0 {
+		t.Fatal("forcing failed: no repeat region rescanned the replica table")
+	}
+	if stLegacy.WarmRescans != 0 {
+		t.Fatalf("legacy path rescanned %d times, want 0", stLegacy.WarmRescans)
+	}
+	// Both modes must still assign every batch edge exactly once on top of
+	// the synthetic pre-load.
+	want := int64(len(edges)) + 2*capacity
+	for name, res := range map[string]*part.Result{"fixed": resFixed, "legacy": resLegacy} {
+		if res.M != want {
+			t.Fatalf("%s: %d assignments, want %d", name, res.M, want)
+		}
+		if err := res.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	// The rescan stitches a repeat region onto the replicas its partition's
+	// first region just placed; the stale buckets cannot see them.
+	if rfF, rfL := resFixed.ReplicationFactor(), resLegacy.ReplicationFactor(); rfF > rfL*1.01 {
+		t.Errorf("fixed warm start RF %.4f worse than stale-bucket RF %.4f", rfF, rfL)
+	}
+}
+
 // TestParallelExpansionExactlyOnce is the concurrency half of the race
 // suite: at W ∈ {2, 4, 8} the concurrent expanders must assign every batch
 // edge exactly once (CAS claim storm on the batch claim array), keep replica

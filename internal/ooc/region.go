@@ -80,6 +80,22 @@ func (st *batchState) warmInto(dst []int32, reps replicaHas, p int) ([]int32, in
 	return dst, probes
 }
 
+// warmRescan probes every batch vertex against the live replica table — the
+// repeat-region warm start. A second region into the same partition must see
+// the replicas the partition's first region added this batch, and those
+// postdate the batch-start bucket index, so the rescan pays one probe per
+// batch vertex instead (the concurrent mirror of seqWarmCandidates' fall
+// back to scanWarmCandidates).
+func (st *batchState) warmRescan(dst []int32, reps replicaHas, p int) ([]int32, int64) {
+	dst = dst[:0]
+	for v := range st.verts {
+		if reps.Has(st.verts[v], p) {
+			dst = append(dst, int32(v))
+		}
+	}
+	return dst, int64(len(st.verts))
+}
+
 // expandPlan coordinates the concurrent expanders of one batch: it grants
 // regions (a target partition plus an edge quota) to workers, keeping the
 // in-flight partitions distinct, folding each worker's load deltas through
@@ -92,6 +108,7 @@ type expandPlan struct {
 	loads    *shard.ShardedLoads
 	counts   []int64 // folded snapshot scratch, len k
 	inflight []bool  // partitions currently being expanded
+	granted  []bool  // partitions granted at least once this batch
 	nIn      int
 	peak     int // max simultaneous expanders
 	regions  int // regions granted
@@ -102,6 +119,7 @@ type expandPlan struct {
 	total   int64        // batch edges
 	claimed atomic.Int64 // edges claimed so far (workers add at region end)
 	probes  atomic.Int64 // overflow warm probes (workers add per region)
+	rescans atomic.Int64 // repeat regions that rescanned for fresh replicas
 
 	stop atomic.Bool
 	err  error
@@ -112,6 +130,7 @@ func newExpandPlan(loads *shard.ShardedLoads, k int, capacity, quota, total int6
 		loads:    loads,
 		counts:   make([]int64, k),
 		inflight: make([]bool, k),
+		granted:  make([]bool, k),
 		maxReg:   k,
 		capacity: capacity,
 		quota:    quota,
@@ -122,9 +141,12 @@ func newExpandPlan(loads *shard.ShardedLoads, k int, capacity, quota, total int6
 // next folds worker w's load lane, releases its previous region (prev ≥ 0)
 // and grants the next one: the least-loaded partition below capacity that no
 // other expander is growing, with the quota clamped to the partition's
-// remaining capacity. ok is false when the batch is exhausted, the region
-// budget is spent, every admissible partition is taken, or the plan aborted.
-func (pl *expandPlan) next(w, prev int) (p int, quota int64, ok bool) {
+// remaining capacity. repeat reports that the granted partition already had
+// a region this batch, so the grantee's warm start must rescan the live
+// replica table instead of the batch-start bucket index. ok is false when
+// the batch is exhausted, the region budget is spent, every admissible
+// partition is taken, or the plan aborted.
+func (pl *expandPlan) next(w, prev int) (p int, quota int64, repeat, ok bool) {
 	pl.mu.Lock()
 	defer pl.mu.Unlock()
 	if prev >= 0 {
@@ -133,7 +155,7 @@ func (pl *expandPlan) next(w, prev int) (p int, quota int64, ok bool) {
 	}
 	pl.loads.FoldSnapshot(w, pl.counts)
 	if pl.stop.Load() || pl.regions >= pl.maxReg || pl.claimed.Load() >= pl.total {
-		return -1, 0, false
+		return -1, 0, false, false
 	}
 	p = -1
 	for q := range pl.counts {
@@ -145,19 +167,21 @@ func (pl *expandPlan) next(w, prev int) (p int, quota int64, ok bool) {
 		}
 	}
 	if p < 0 {
-		return -1, 0, false
+		return -1, 0, false, false
 	}
 	quota = pl.quota
 	if room := pl.capacity - pl.counts[p]; quota > room {
 		quota = room
 	}
+	repeat = pl.granted[p]
+	pl.granted[p] = true
 	pl.inflight[p] = true
 	pl.nIn++
 	if pl.nIn > pl.peak {
 		pl.peak = pl.nIn
 	}
 	pl.regions++
-	return p, quota, true
+	return p, quota, repeat, true
 }
 
 // release folds worker w's lane and returns region p without asking for a

@@ -2,6 +2,7 @@ package part
 
 import (
 	"hep/internal/graph"
+	"hep/internal/obs"
 	"hep/internal/shard"
 )
 
@@ -16,6 +17,7 @@ type Shared struct {
 	Table *shard.AtomicTable
 	Loads *shard.ShardedLoads
 	res   *Result
+	obs   *obs.Counters
 }
 
 // Shared is the concurrent-state constructor: it moves the result's replica
@@ -30,6 +32,15 @@ func (r *Result) Shared(w int) *Shared {
 	}
 }
 
+// SetObs installs the observability counter sink (nil = disabled): load
+// folds count as fold windows, and Finish folds the table's accumulated CAS
+// retries. Returns s for chaining at construction sites.
+func (s *Shared) SetObs(c *obs.Counters) *Shared {
+	s.obs = c
+	s.Loads.SetObs(c)
+	return s
+}
+
 // Deliver records one ordered edge assignment. Replica bits and load counts
 // were already applied by the worker that placed the edge.
 func (s *Shared) Deliver(u, v graph.V, p int) {
@@ -42,5 +53,6 @@ func (s *Shared) Deliver(u, v graph.V, p int) {
 // Finish freezes the concurrent replica table back into the Result. Every
 // worker must have stopped (and folded its last delta lane) before the call.
 func (s *Shared) Finish() {
+	s.obs.Add(0, obs.CtrCASRetries, s.Table.Retries())
 	s.res.Reps = s.Table.Freeze()
 }

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"hep/internal/graph"
+	"hep/internal/obs"
 	"hep/internal/part"
 	"hep/internal/shard"
 	"hep/internal/stream"
@@ -32,6 +33,10 @@ type Restream struct {
 	// affinity against a frozen prior state that every worker can read
 	// without coordination. Workers ≤ 1 keeps the sequential passes.
 	Workers int
+	// Obs is the observability hook (nil = disabled): the degree pass and
+	// every streaming pass record phase spans, and the parallel engine folds
+	// hot-path counters into it.
+	Obs *obs.Obs
 }
 
 // Name implements part.Algorithm.
@@ -54,7 +59,7 @@ func (r *Restream) Partition(src graph.EdgeStream, k int) (*part.Result, error) 
 	if alpha == 0 {
 		alpha = 1.05
 	}
-	opts := shard.Options{Workers: r.Workers}
+	opts := shard.Options{Workers: r.Workers, Obs: r.Obs.Counters()}
 	parallel := r.Workers > 1
 
 	// Exact-degree pre-pass; with Workers > 1 it fans out through the same
@@ -62,6 +67,7 @@ func (r *Restream) Partition(src graph.EdgeStream, k int) (*part.Result, error) 
 	var deg []int32
 	var m int64
 	var err error
+	sp := r.Obs.Span("degree-pass")
 	if parallel {
 		deg, m, err = shard.Degrees(src, opts)
 	} else {
@@ -70,6 +76,8 @@ func (r *Restream) Partition(src graph.EdgeStream, k int) (*part.Result, error) 
 	if err != nil {
 		return nil, err
 	}
+	sp.Edges(m).End()
+	r.Obs.SetTotalEdges(int64(r.passes()+1) * m) // degree pass + every streaming pass
 	n := src.NumVertices()
 
 	// Pass 1: plain streamed HDRF with exact degrees.
@@ -77,14 +85,19 @@ func (r *Restream) Partition(src graph.EdgeStream, k int) (*part.Result, error) 
 	if r.passes() == 1 {
 		res.Sink = r.Sink
 	}
+	sp = r.Obs.Span("stream-pass-1")
 	if parallel {
 		err = stream.RunHDRFParallel(src, res, deg, lambda, alpha, m, opts)
 	} else {
+		// The parallel engine folds its own counters; the plain sequential
+		// run needs the one batch-boundary fold here.
 		err = stream.RunHDRF(src, res, deg, lambda, alpha, m)
+		r.Obs.Counters().Add(0, obs.CtrEdgesStreamed, m)
 	}
 	if err != nil {
 		return nil, err
 	}
+	sp.Edges(m).End()
 
 	// Passes 2..P: re-place each edge against the frozen previous state.
 	for pass := 1; pass < r.passes(); pass++ {
@@ -93,14 +106,17 @@ func (r *Restream) Partition(src graph.EdgeStream, k int) (*part.Result, error) 
 		if pass == r.passes()-1 {
 			next.Sink = r.Sink // only the final pass emits assignments
 		}
+		sp = r.Obs.Span(fmt.Sprintf("restream-pass-%d", pass+1))
 		if parallel {
 			err = stream.RunHDRFWithStateParallel(src, next, prev, deg, lambda, alpha, m, opts)
 		} else {
 			err = stream.RunHDRFWithState(src, next, prev, deg, lambda, alpha, m)
+			r.Obs.Counters().Add(0, obs.CtrEdgesStreamed, m)
 		}
 		if err != nil {
 			return nil, err
 		}
+		sp.Edges(m).End()
 		res = next
 	}
 	return res, nil

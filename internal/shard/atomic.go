@@ -25,6 +25,7 @@ import (
 	"sync/atomic"
 
 	"hep/internal/graph"
+	"hep/internal/obs"
 	"hep/internal/pstate"
 )
 
@@ -36,6 +37,9 @@ type Options struct {
 	// DefaultBatchEdges). Smaller batches tighten the staleness of the
 	// load bounds at the cost of more fold/snapshot traffic.
 	BatchEdges int
+	// Obs is the hot-path counter sink (nil = disabled). The engine folds
+	// batch/edge/stall totals into it at delivery boundaries.
+	Obs *obs.Counters
 }
 
 // Resolve returns the effective worker count: Workers, or GOMAXPROCS for 0.
@@ -59,6 +63,7 @@ type AtomicTable struct {
 	pages       []atomic.Pointer[[]uint64]
 	pageMu      sync.Mutex // serializes overflow page allocation
 	vcount      []int64    // |V(p)|, accessed with atomic adds
+	retries     int64      // failed CAS attempts in Add (atomic)
 }
 
 // NewAtomicTable returns an empty concurrent table for n vertices and k
@@ -184,8 +189,18 @@ func (t *AtomicTable) Add(v graph.V, p int) bool {
 			atomic.AddInt64(&t.vcount[p], 1)
 			return true
 		}
+		// A lost race: another worker's CAS landed on this mask word first.
+		// The retry count is the direct price of mask-word contention, so it
+		// is kept unconditionally — the add sits on an already-contended
+		// path, one more uncontended-word add is noise.
+		atomic.AddInt64(&t.retries, 1)
 	}
 }
+
+// Retries returns the number of failed CAS attempts Add has absorbed — the
+// mask-word contention between placement workers. Read it before Freeze
+// (which consumes the table).
+func (t *AtomicTable) Retries() int64 { return atomic.LoadInt64(&t.retries) }
 
 // Word returns mask word wi (partitions 64·wi .. 64·wi+63) of vertex v.
 func (t *AtomicTable) Word(v graph.V, wi int) uint64 {

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"hep/internal/graph"
+	"hep/internal/obs"
 )
 
 // DefaultBatchEdges is the default fan-out batch size. At 4096 edges the
@@ -83,11 +84,17 @@ func (e *engine) start() {
 // collect reorders finished batches by sequence number and delivers them in
 // stream order — the deterministic replay guarantee: whatever interleaving
 // the workers ran under, the caller observes assignments in the exact order
-// the stream yielded the edges.
-func (e *engine) collect(deliver func(edges []graph.Edge, parts []int32)) {
+// the stream yielded the edges. Counter folds happen here, once per batch,
+// from the single collector goroutine (lane 0): batches and edges delivered
+// (the live progress signal) and reorder stalls — batches that arrived ahead
+// of sequence and sat in the reorder buffer, i.e. worker skew.
+func (e *engine) collect(c *obs.Counters, deliver func(edges []graph.Edge, parts []int32)) {
 	var next int64
 	pending := make(map[int64]*job)
 	for j := range e.results {
+		if j.seq != next {
+			c.Add(0, obs.CtrReorderStalls, 1)
+		}
 		pending[j.seq] = j
 		for {
 			jj, ok := pending[next]
@@ -96,6 +103,8 @@ func (e *engine) collect(deliver func(edges []graph.Edge, parts []int32)) {
 			}
 			delete(pending, next)
 			deliver(jj.edges, jj.parts[:len(jj.edges)])
+			c.Add(0, obs.CtrBatches, 1)
+			c.Add(0, obs.CtrEdgesStreamed, int64(len(jj.edges)))
 			if jj.buf != nil {
 				jj.edges = jj.buf[:0]
 			}
@@ -105,18 +114,21 @@ func (e *engine) collect(deliver func(edges []graph.Edge, parts []int32)) {
 	}
 }
 
-// Run streams src through the workers in batches of batchEdges (0 =
+// Run streams src through the workers in batches of opts.BatchEdges (0 =
 // DefaultBatchEdges) and calls deliver once per batch, in stream order, from
 // the calling goroutine. It returns the stream's error, if any; batches
-// dispatched before the error still complete and deliver.
-func Run(src graph.EdgeStream, workers []BatchPlacer, batchEdges int, deliver func(edges []graph.Edge, parts []int32)) error {
+// dispatched before the error still complete and deliver. The worker count
+// is len(workers) — opts.Workers is not consulted here; opts carries the
+// batch size and the observability sink.
+func Run(src graph.EdgeStream, workers []BatchPlacer, opts Options, deliver func(edges []graph.Edge, parts []int32)) error {
+	batchEdges := opts.BatchEdges
 	if batchEdges <= 0 {
 		batchEdges = DefaultBatchEdges
 	}
 	if len(workers) == 1 {
 		// One worker needs no pipeline: place in the caller's goroutine,
 		// batch by batch, preserving the same batch-boundary semantics.
-		return runOne(src, workers[0], batchEdges, deliver)
+		return runOne(src, workers[0], batchEdges, opts.Obs, deliver)
 	}
 	e := newEngine(workers, batchEdges, true)
 	e.start()
@@ -140,18 +152,21 @@ func Run(src graph.EdgeStream, workers []BatchPlacer, batchEdges int, deliver fu
 			e.jobs <- cur
 		}
 	}()
-	e.collect(deliver)
+	e.collect(opts.Obs, deliver)
 	return serr
 }
 
 // runOne is the single-worker degenerate case of Run: same batching, no
-// goroutines, no reordering.
-func runOne(src graph.EdgeStream, w BatchPlacer, batchEdges int, deliver func(edges []graph.Edge, parts []int32)) error {
+// goroutines, no reordering (and so no reorder stalls — only batch and edge
+// totals fold).
+func runOne(src graph.EdgeStream, w BatchPlacer, batchEdges int, c *obs.Counters, deliver func(edges []graph.Edge, parts []int32)) error {
 	edges := make([]graph.Edge, 0, batchEdges)
 	parts := make([]int32, batchEdges)
 	flush := func() {
 		w.PlaceBatch(edges, parts[:len(edges)])
 		deliver(edges, parts[:len(edges)])
+		c.Add(0, obs.CtrBatches, 1)
+		c.Add(0, obs.CtrEdgesStreamed, int64(len(edges)))
 		edges = edges[:0]
 	}
 	err := src.Edges(func(u, v graph.V) bool {
@@ -171,7 +186,8 @@ func runOne(src graph.EdgeStream, w BatchPlacer, batchEdges int, deliver func(ed
 // edges (no copying), parts buffers are pooled, and delivery is in slice
 // order. Used by the out-of-core engine's concurrent per-edge fallback,
 // where the leftover batch edges are already materialized.
-func RunSlice(edges []graph.Edge, workers []BatchPlacer, batchEdges int, deliver func(edges []graph.Edge, parts []int32)) {
+func RunSlice(edges []graph.Edge, workers []BatchPlacer, opts Options, deliver func(edges []graph.Edge, parts []int32)) {
+	batchEdges := opts.BatchEdges
 	if batchEdges <= 0 {
 		batchEdges = DefaultBatchEdges
 	}
@@ -184,6 +200,8 @@ func RunSlice(edges []graph.Edge, workers []BatchPlacer, batchEdges int, deliver
 			}
 			workers[0].PlaceBatch(edges[off:end], parts[:end-off])
 			deliver(edges[off:end], parts[:end-off])
+			opts.Obs.Add(0, obs.CtrBatches, 1)
+			opts.Obs.Add(0, obs.CtrEdgesStreamed, int64(end-off))
 		}
 		return
 	}
@@ -204,5 +222,5 @@ func RunSlice(edges []graph.Edge, workers []BatchPlacer, batchEdges int, deliver
 			e.jobs <- j
 		}
 	}()
-	e.collect(deliver)
+	e.collect(opts.Obs, deliver)
 }

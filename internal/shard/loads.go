@@ -3,6 +3,7 @@ package shard
 import (
 	"sync"
 
+	"hep/internal/obs"
 	"hep/internal/pstate"
 )
 
@@ -18,6 +19,7 @@ type ShardedLoads struct {
 	mu     sync.Mutex
 	global *pstate.Loads
 	deltas [][]int64 // one k-length lane per worker
+	obs    *obs.Counters
 }
 
 // NewShardedLoads wraps global with w delta lanes. The global tracker must
@@ -34,6 +36,9 @@ func NewShardedLoads(global *pstate.Loads, w int) *ShardedLoads {
 // K returns the partition count.
 func (s *ShardedLoads) K() int { return s.global.K() }
 
+// SetObs installs a fold-window counter sink (nil = disabled).
+func (s *ShardedLoads) SetObs(c *obs.Counters) { s.obs = c }
+
 // Inc records one edge assigned to partition p in worker w's lane. Only
 // worker w may call it (single-writer per lane, lock-free).
 func (s *ShardedLoads) Inc(w, p int) { s.deltas[w][p]++ }
@@ -48,6 +53,7 @@ func (s *ShardedLoads) Fold(w int) {
 	for p := range d {
 		d[p] = 0
 	}
+	s.obs.Add(w, obs.CtrFolds, 1)
 }
 
 // FoldSnapshot merges worker w's lane into the global tracker and copies the
@@ -66,6 +72,7 @@ func (s *ShardedLoads) FoldSnapshot(w int, dst []int64) (max, min int64, argmin 
 	for p := range d {
 		d[p] = 0
 	}
+	s.obs.Add(w, obs.CtrFolds, 1)
 	return max, min, argmin
 }
 

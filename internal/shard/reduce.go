@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"hep/internal/graph"
+	"hep/internal/obs"
 )
 
 // This file is the reduction side of the batch engine: per-worker
@@ -41,6 +42,7 @@ type Lanes[T Accum] struct {
 	mu     sync.Mutex
 	global []T
 	lanes  []lane[T]
+	obs    *obs.Counters
 }
 
 type lane[T Accum] struct {
@@ -73,6 +75,9 @@ func (l *Lanes[T]) Add(w, i int, d T) {
 	}
 }
 
+// SetObs installs a fold-window counter sink (nil = disabled).
+func (l *Lanes[T]) SetObs(c *obs.Counters) { l.obs = c }
+
 // Fold merges worker w's dirty window into the global array and clears it.
 // Deltas are required to be non-negative (counting folds); a merge that
 // would wrap the accumulator returns ErrOverflow.
@@ -81,6 +86,7 @@ func (l *Lanes[T]) Fold(w int) error {
 	if ln.hi <= ln.lo {
 		return nil
 	}
+	l.obs.Add(w, obs.CtrFolds, 1)
 	l.mu.Lock()
 	if len(l.global) < len(ln.acc) {
 		l.global = append(l.global, make([]T, len(ln.acc)-len(l.global))...)
@@ -197,6 +203,7 @@ func degreePass(src graph.EdgeStream, n int, grow bool, opts Options) ([]int32, 
 		workers = 1
 	}
 	lanes := NewLanes[int32](workers, n)
+	lanes.SetObs(opts.Obs)
 	domain := n
 	if grow {
 		domain = -1
@@ -209,7 +216,7 @@ func degreePass(src graph.EdgeStream, n int, grow bool, opts Options) ([]int32, 
 		ws[i], dws[i] = dw, dw
 	}
 	var m int64
-	err := Run(AbortStream{EdgeStream: src, Stop: &stop}, ws, opts.BatchEdges, func(edges []graph.Edge, parts []int32) {
+	err := Run(AbortStream{EdgeStream: src, Stop: &stop}, ws, opts, func(edges []graph.Edge, parts []int32) {
 		m += int64(len(edges))
 	})
 	if err != nil {

@@ -214,7 +214,7 @@ func TestEngineOrderedDelivery(t *testing.T) {
 				ws[i] = &orderPlacer{k: k}
 			}
 			var got []part.TaggedEdge
-			err := shard.Run(g, ws, batch, func(edges []graph.Edge, parts []int32) {
+			err := shard.Run(g, ws, shard.Options{BatchEdges: batch}, func(edges []graph.Edge, parts []int32) {
 				for i := range edges {
 					got = append(got, part.TaggedEdge{E: edges[i], P: int(parts[i])})
 				}
@@ -249,7 +249,7 @@ func TestRunSliceOrderedDelivery(t *testing.T) {
 		ws[i] = &orderPlacer{k: k}
 	}
 	next := 0
-	shard.RunSlice(edges, ws, 128, func(batch []graph.Edge, parts []int32) {
+	shard.RunSlice(edges, ws, shard.Options{BatchEdges: 128}, func(batch []graph.Edge, parts []int32) {
 		for i := range batch {
 			if batch[i] != edges[next] {
 				t.Fatalf("delivery %d out of order", next)

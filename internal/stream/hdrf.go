@@ -2,6 +2,7 @@ package stream
 
 import (
 	"hep/internal/graph"
+	"hep/internal/obs"
 	"hep/internal/part"
 	"hep/internal/shard"
 )
@@ -31,6 +32,10 @@ type HDRF struct {
 	Workers int
 	// BatchEdges overrides the engine's fan-out batch size (0 = default).
 	BatchEdges int
+	// Obs is the observability hook (nil = disabled): the degree pass and
+	// the streaming pass record phase spans, and the parallel engine folds
+	// hot-path counters into it.
+	Obs *obs.Obs
 }
 
 // Name implements part.Algorithm.
@@ -56,17 +61,22 @@ func (h *HDRF) Partition(src graph.EdgeStream, k int) (*part.Result, error) {
 	capacity := capFor(alpha, src.NumEdges(), k)
 
 	if h.Workers > 1 {
-		opts := shard.Options{Workers: h.Workers, BatchEdges: h.BatchEdges}
+		opts := shard.Options{Workers: h.Workers, BatchEdges: h.BatchEdges, Obs: h.Obs.Counters()}
 		// The exact-degree pre-pass fans out through the same engine the
 		// placement pass uses; its folded output is bit-identical to
 		// graph.Degrees.
+		sp := h.Obs.Span("degree-pass")
 		deg, m, err := shard.Degrees(src, opts)
 		if err != nil {
 			return nil, err
 		}
+		sp.Edges(m).End()
+		h.Obs.SetTotalEdges(2 * m) // degree pass + placement pass
+		sp = h.Obs.Span("stream")
 		if err := RunHDRFParallel(src, res, deg, lambda, alpha, m, opts); err != nil {
 			return nil, err
 		}
+		sp.Edges(m).End()
 		return res, nil
 	}
 
@@ -74,10 +84,12 @@ func (h *HDRF) Partition(src graph.EdgeStream, k int) (*part.Result, error) {
 	if h.ExactDegrees {
 		var m int64
 		var err error
+		sp := h.Obs.Span("degree-pass")
 		deg, m, err = graph.Degrees(src)
 		if err != nil {
 			return nil, err
 		}
+		sp.Edges(m).End()
 		// The pre-pass counted the exact m, so a count-less stream
 		// (NumEdges() == 0) still gets the real α·m/k bound here — the
 		// same capacity the Workers > 1 path enforces.
@@ -86,6 +98,7 @@ func (h *HDRF) Partition(src graph.EdgeStream, k int) (*part.Result, error) {
 		deg = make([]int32, n)
 	}
 
+	sp := h.Obs.Span("stream")
 	err := src.Edges(func(u, v graph.V) bool {
 		if !h.ExactDegrees {
 			deg[u]++
@@ -101,5 +114,8 @@ func (h *HDRF) Partition(src graph.EdgeStream, k int) (*part.Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The sequential loop stays counter-free per edge; fold the totals once.
+	h.Obs.Counters().Add(0, obs.CtrEdgesStreamed, res.M)
+	sp.Edges(res.M).End()
 	return res, nil
 }

@@ -119,13 +119,13 @@ func RunHDRFParallel(src graph.EdgeStream, res *part.Result, deg []int32, lambda
 	// floor and pay ~16× the per-batch synchronization on large streams.
 	opts.BatchEdges = adaptiveBatch(totalM, workers, opts.BatchEdges)
 	capacity := capFor(alpha, totalM, res.K)
-	sh := res.Shared(workers)
+	sh := res.Shared(workers).SetObs(opts.Obs)
 	defer sh.Finish()
 	ws := make([]shard.BatchPlacer, workers)
 	for i := range ws {
 		ws[i] = newHDRFWorker(i, sh.Table.View(), sh, deg, lambda, capacity)
 	}
-	return shard.Run(src, ws, opts.BatchEdges, func(edges []graph.Edge, parts []int32) {
+	return shard.Run(src, ws, opts, func(edges []graph.Edge, parts []int32) {
 		for i := range edges {
 			sh.Deliver(edges[i].U, edges[i].V, int(parts[i]))
 		}
@@ -145,13 +145,13 @@ func RunHDRFWithStateParallel(src graph.EdgeStream, res, state *part.Result, deg
 	// possibly count-less stream.
 	opts.BatchEdges = adaptiveBatch(totalM, workers, opts.BatchEdges)
 	capacity := capFor(alpha, totalM, res.K)
-	sh := res.Shared(workers)
+	sh := res.Shared(workers).SetObs(opts.Obs)
 	defer sh.Finish()
 	ws := make([]shard.BatchPlacer, workers)
 	for i := range ws {
 		ws[i] = newHDRFWorker(i, state.Reps.Reader(), sh, deg, lambda, capacity)
 	}
-	return shard.Run(src, ws, opts.BatchEdges, func(edges []graph.Edge, parts []int32) {
+	return shard.Run(src, ws, opts, func(edges []graph.Edge, parts []int32) {
 		for i := range edges {
 			sh.Deliver(edges[i].U, edges[i].V, int(parts[i]))
 		}
@@ -169,13 +169,13 @@ func RunHDRFParallelEdges(edges []graph.Edge, res *part.Result, deg []int32, lam
 		workers = 1
 	}
 	opts.BatchEdges = adaptiveBatch(int64(len(edges)), workers, opts.BatchEdges)
-	sh := res.Shared(workers)
+	sh := res.Shared(workers).SetObs(opts.Obs)
 	defer sh.Finish()
 	ws := make([]shard.BatchPlacer, workers)
 	for i := range ws {
 		ws[i] = newHDRFWorker(i, sh.Table.View(), sh, deg, lambda, capacity)
 	}
-	shard.RunSlice(edges, ws, opts.BatchEdges, func(edges []graph.Edge, parts []int32) {
+	shard.RunSlice(edges, ws, opts, func(edges []graph.Edge, parts []int32) {
 		for i := range edges {
 			sh.Deliver(edges[i].U, edges[i].V, int(parts[i]))
 		}
