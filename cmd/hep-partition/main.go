@@ -13,6 +13,7 @@
 //	hep-partition -in graph.bin -k 32 -algo buffered -budget 536870912
 //	hep-partition -in graph.bin -k 128 -algo hdrf -assign out.txt
 //	hep-partition -in graph.bin -k 32 -algo hdrf -workers 8
+//	hep-partition -in graph.bin -k 32 -algo hdrf -workers 8 -mmap
 //	hep-partition -in graph.bin -k 32 -workers 4 -v -trace-json trace.json -metrics-addr :6060
 package main
 
@@ -46,6 +47,11 @@ func main() {
 			"(0 = all cores, 1 = exact sequential path; algorithms with no parallel path reject > 1)")
 		budget = flag.Int64("budget", 0, "if > 0, fit the partitioner to this many bytes: "+
 			"picks τ for -algo hep (§4.4), sizes the edge buffer for -algo buffered")
+		mmap = flag.Bool("mmap", false, "memory-map the input instead of streaming it through the "+
+			"chunked reader: zero-copy ingest on little-endian hosts (falls back to positioned reads "+
+			"where mmap is unavailable)")
+		batch = flag.Int("batch", 0, "pin the parallel engine's fan-out batch size "+
+			"(0 = stream-scaled ceiling with capacity-aware adaptive sizing)")
 		traceJSON = flag.String("trace-json", "", "write the machine-readable run trace "+
 			"(phase timeline + hot-path counters, hep-trace/v1) to this file")
 		metricsAddr = flag.String("metrics-addr", "", "serve expvar (/debug/vars, live hep counters), "+
@@ -62,7 +68,7 @@ func main() {
 	cfg := hep.Config{
 		Algorithm: *algo, K: *k, Tau: *tau,
 		Alpha: *alpha, Lambda: *lambda, Seed: *seed,
-		Buffer: *buffer, MemBudget: *budget, Workers: *workers,
+		Buffer: *buffer, MemBudget: *budget, Workers: *workers, BatchEdges: *batch,
 	}
 
 	// One observability hub feeds all three surfaces: the trace file, the
@@ -94,8 +100,20 @@ func main() {
 	if *algo == hep.AlgoBuffered {
 		discoverN = -1 // buffered discovers ids in its degree pass
 	}
-	src, err := hep.OpenChunked(*in, discoverN, 0)
-	fail(err)
+	var src hep.EdgeStream
+	var err error
+	if *mmap {
+		ms, merr := hep.OpenMmap(*in, discoverN)
+		fail(merr)
+		defer ms.Close()
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "hep-partition: mmap input (mapped=%v zero-copy=%v)\n", ms.Mapped(), ms.ZeroCopy())
+		}
+		src = ms
+	} else {
+		src, err = hep.OpenChunked(*in, discoverN, 0)
+		fail(err)
+	}
 
 	// Resolve the budget up front so the chosen knob is visible (and
 	// reproducible without -budget in later runs).

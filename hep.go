@@ -143,6 +143,14 @@ type Config struct {
 	// streaming like ADWISE, the in-memory partitioners) reject
 	// Workers > 1 instead of silently running sequentially.
 	Workers int
+	// BatchEdges pins the parallel sharded engine's fan-out batch size for
+	// the algorithms with a parallel path. 0 (the default) lets the
+	// runners scale the ceiling with the stream and vary batch sizes below
+	// it adaptively — batches shrink as the most-loaded partition
+	// approaches the α capacity bound and grow back while headroom is
+	// plentiful. An explicit value pins fixed-size batches (and turns the
+	// adaptive policy off), which is the knob for staleness experiments.
+	BatchEdges int
 	// Window sizes ADWISE's edge buffer.
 	Window int
 	// Passes is the number of re-streaming passes for AlgoRestream.
@@ -191,10 +199,10 @@ func New(cfg Config) (Algorithm, error) {
 	switch name {
 	case AlgoHEP:
 		a = &core.HEP{Tau: cfg.Tau, Alpha: cfg.Alpha, Lambda: cfg.Lambda, Seed: cfg.Seed,
-			Workers: shardWorkers(cfg), BuildWorkers: shardWorkers(cfg), Obs: cfg.Obs}
+			Workers: shardWorkers(cfg), BuildWorkers: shardWorkers(cfg), BatchEdges: cfg.BatchEdges, Obs: cfg.Obs}
 	case AlgoNEPP:
 		a = &core.HEP{Tau: math.Inf(1), Alpha: cfg.Alpha, Lambda: cfg.Lambda,
-			Workers: shardWorkers(cfg), BuildWorkers: shardWorkers(cfg), Obs: cfg.Obs}
+			Workers: shardWorkers(cfg), BuildWorkers: shardWorkers(cfg), BatchEdges: cfg.BatchEdges, Obs: cfg.Obs}
 	case AlgoNE:
 		a = &ne.NE{Seed: cfg.Seed}
 	case AlgoSNE:
@@ -204,7 +212,8 @@ func New(cfg Config) (Algorithm, error) {
 	case AlgoMETIS:
 		a = &mlp.MLP{Seed: cfg.Seed}
 	case AlgoHDRF:
-		a = &stream.HDRF{Lambda: cfg.Lambda, Alpha: cfg.Alpha, Workers: shardWorkers(cfg), Obs: cfg.Obs}
+		a = &stream.HDRF{Lambda: cfg.Lambda, Alpha: cfg.Alpha, Workers: shardWorkers(cfg),
+			BatchEdges: cfg.BatchEdges, Obs: cfg.Obs}
 	case AlgoDBH:
 		a = &stream.DBH{}
 	case AlgoGreedy:
@@ -223,10 +232,10 @@ func New(cfg Config) (Algorithm, error) {
 		a = &hybrid.Simple{Tau: tau, Seed: cfg.Seed}
 	case AlgoRestream:
 		a = &restream.Restream{Passes: cfg.Passes, Lambda: cfg.Lambda, Alpha: cfg.Alpha,
-			Workers: shardWorkers(cfg), Obs: cfg.Obs}
+			Workers: shardWorkers(cfg), BatchEdges: cfg.BatchEdges, Obs: cfg.Obs}
 	case AlgoBuffered:
 		a = &ooc.Buffered{BufferEdges: cfg.Buffer, Lambda: cfg.Lambda, Alpha: cfg.Alpha,
-			Workers: shardWorkers(cfg), Obs: cfg.Obs}
+			Workers: shardWorkers(cfg), BatchEdges: cfg.BatchEdges, Obs: cfg.Obs}
 	default:
 		return nil, fmt.Errorf("hep: unknown algorithm %q", name)
 	}
@@ -320,6 +329,22 @@ func OpenBinaryFile(path string, n int) (EdgeStream, error) {
 // selects the default chunk size.
 func OpenChunked(path string, n, chunkEdges int) (EdgeStream, error) {
 	return ooc.Open(path, n, chunkEdges)
+}
+
+// MmapStream is a memory-mapped binary edge list (see OpenMmap). It holds
+// OS resources and must be Closed after use.
+type MmapStream = ooc.MmapStream
+
+// OpenMmap opens a binary edge list as a memory-mapped EdgeStream: the
+// kernel pages edge bytes straight into the process, and on little-endian
+// hosts the partitioners' ingest borrows slices of the mapping itself —
+// zero read syscalls, zero decode, zero copy on the dispatch path. On
+// platforms without mmap (or under the nommap build tag) the same stream
+// transparently falls back to positioned reads with pooled decode buffers.
+// n may be 0 to discover the vertex count (or < 0 to skip discovery).
+// Unlike the other Open* streams the result must be Closed.
+func OpenMmap(path string, n int) (*MmapStream, error) {
+	return ooc.OpenMmap(path, n)
 }
 
 // tauCandidates is the §4.4 sweep PartitionFile and cmd/hep-partition use

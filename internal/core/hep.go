@@ -50,6 +50,10 @@ type HEP struct {
 	// many concurrent workers against the replica state NE++ left behind.
 	// Workers ≤ 1 keeps the exact sequential informed-HDRF pass.
 	Workers int
+	// BatchEdges pins the parallel engine's fan-out batch size (0 = the
+	// stream-scaled ceiling with adaptive sizing on; an explicit value
+	// fixes batch sizes and disables adaptive sizing).
+	BatchEdges int
 
 	// Obs is the observability hook (nil = disabled): the CSR build, NE++
 	// and the h2h streaming phase record spans; the parallel build and
@@ -93,7 +97,7 @@ func (h *HEP) Partition(src graph.EdgeStream, k int) (*part.Result, error) {
 		bw = 1 // 0 keeps the sequential build (Resolve would mean all cores)
 	}
 	sp := h.Obs.Span("csr-build")
-	csr, err := BuildCSRSharded(src, tau, h.H2HStore, shard.Options{Workers: bw, Obs: h.Obs.Counters()})
+	csr, err := BuildCSRSharded(src, tau, h.H2HStore, shard.Options{Workers: bw, BatchEdges: h.BatchEdges, Obs: h.Obs.Counters()})
 	if err != nil {
 		return nil, err
 	}
@@ -133,7 +137,7 @@ func (h *HEP) PartitionCSR(csr *graph.CSR, k int) (*part.Result, error) {
 			err = stream.RunRandom(h2h, res, h.Seed, alpha, csr.M())
 		case h.Workers > 1:
 			err = stream.RunHDRFParallel(h2h, res, csr.Degrees(), lambda, alpha, csr.M(),
-				shard.Options{Workers: h.Workers, Obs: h.Obs.Counters()})
+				shard.Options{Workers: h.Workers, BatchEdges: h.BatchEdges, Obs: h.Obs.Counters()})
 		default:
 			err = stream.RunHDRF(h2h, res, csr.Degrees(), lambda, alpha, csr.M())
 		}

@@ -51,6 +51,40 @@ type EdgeStream interface {
 	Edges(yield func(u, v V) bool) error
 }
 
+// ChunkStream is an EdgeStream that can additionally *lend* its edges as
+// decoded contiguous slabs, so a consumer (the sharded batch engine, a
+// pre-pass) can slice batches out of the producer's own buffers instead of
+// re-copying every edge on the dispatch thread.
+//
+// Chunks calls yield with consecutive slabs covering exactly the edges
+// Edges would yield, in the same order. The slab is lent: the consumer may
+// retain it (and subslices of it) after yield returns, and must call
+// release exactly once when the last reference is dropped — that is what
+// returns the slab to the producer's buffer pool. The consumer must treat
+// the slab as read-only and must not retain it past release. Stopping
+// early (yield returning false) after releasing every lent slab is the
+// clean-abort path; the producer reclaims its resources promptly either
+// way. Producers never yield empty slabs.
+type ChunkStream interface {
+	EdgeStream
+	Chunks(yield func(edges []Edge, release func()) bool) error
+}
+
+// AsChunks returns the chunk-lending form of src, if it has one. Wrappers
+// that implement ChunkStream only when their inner stream does (e.g. the
+// sharded engine's abort wrapper) signal availability through an optional
+// LendsChunks method.
+func AsChunks(src EdgeStream) (ChunkStream, bool) {
+	cs, ok := src.(ChunkStream)
+	if !ok {
+		return nil, false
+	}
+	if g, conditional := src.(interface{ LendsChunks() bool }); conditional && !g.LendsChunks() {
+		return nil, false
+	}
+	return cs, true
+}
+
 // MemGraph is an in-memory edge list implementing EdgeStream.
 type MemGraph struct {
 	N int
@@ -95,6 +129,17 @@ func (g *MemGraph) Edges(yield func(u, v V) bool) error {
 			return nil
 		}
 	}
+	return nil
+}
+
+// Chunks implements ChunkStream: the edge list is already decoded and
+// resident, so the whole of it is lent as a single slab with a no-op
+// release.
+func (g *MemGraph) Chunks(yield func(edges []Edge, release func()) bool) error {
+	if len(g.E) == 0 {
+		return nil
+	}
+	yield(g.E, func() {})
 	return nil
 }
 

@@ -391,4 +391,3 @@ func TestAssembleCSRMatchesBuildCSRFrame(t *testing.T) {
 		}
 	}
 }
-

@@ -53,6 +53,20 @@ const (
 	// CtrParallelBatches counts out-of-core batches whose regions were grown
 	// by concurrent expanders.
 	CtrParallelBatches
+	// CtrChunksLent counts decoded edge slabs lent zero-copy to the batch
+	// engine (graph.ChunkStream dispatch — batches alias the producer's
+	// buffers instead of being re-copied on the dispatch thread).
+	CtrChunksLent
+	// CtrChunkCopyFallbacks counts batches the engine had to fill by
+	// per-edge copy because the source does not lend chunks (or copy
+	// dispatch was forced).
+	CtrChunkCopyFallbacks
+	// CtrBytesCopiedDispatch counts bytes of edge data copied into job
+	// buffers on the dispatch thread — exactly 0 on the chunk-lending path.
+	CtrBytesCopiedDispatch
+	// CtrBatchResizes counts dispatch batches whose adaptive size differed
+	// from the previous batch's (capacity-aware batch sizing at work).
+	CtrBatchResizes
 
 	// NumCounters is the number of counter slots.
 	NumCounters
@@ -61,20 +75,24 @@ const (
 // counterNames are the stable machine-readable names used by the trace-JSON
 // schema and the expvar endpoint.
 var counterNames = [NumCounters]string{
-	CtrEdgesStreamed:   "edges_streamed",
-	CtrBatches:         "batches",
-	CtrCASRetries:      "cas_retries",
-	CtrReorderStalls:   "reorder_stalls",
-	CtrFolds:           "fold_windows",
-	CtrWarmSpills:      "warm_bucket_spills",
-	CtrSpillBytes:      "varint_spill_bytes",
-	CtrFallbackEdges:   "fallback_edges",
-	CtrExpansionEdges:  "expansion_edges",
-	CtrRegions:         "regions",
-	CtrWarmMaskPasses:  "warm_mask_passes",
-	CtrWarmScanProbes:  "warm_scan_probes",
-	CtrWarmRescans:     "warm_rescans",
-	CtrParallelBatches: "parallel_batches",
+	CtrEdgesStreamed:       "edges_streamed",
+	CtrBatches:             "batches",
+	CtrCASRetries:          "cas_retries",
+	CtrReorderStalls:       "reorder_stalls",
+	CtrFolds:               "fold_windows",
+	CtrWarmSpills:          "warm_bucket_spills",
+	CtrSpillBytes:          "varint_spill_bytes",
+	CtrFallbackEdges:       "fallback_edges",
+	CtrExpansionEdges:      "expansion_edges",
+	CtrRegions:             "regions",
+	CtrWarmMaskPasses:      "warm_mask_passes",
+	CtrWarmScanProbes:      "warm_scan_probes",
+	CtrWarmRescans:         "warm_rescans",
+	CtrParallelBatches:     "parallel_batches",
+	CtrChunksLent:          "chunks_lent",
+	CtrChunkCopyFallbacks:  "chunk_copy_fallbacks",
+	CtrBytesCopiedDispatch: "bytes_copied_dispatch",
+	CtrBatchResizes:        "batch_resizes",
 }
 
 // String returns the counter's stable snake_case name.

@@ -147,6 +147,9 @@ type Buffered struct {
 	// informed-HDRF fallback through the sharded engine. Workers ≤ 1 keeps
 	// the exact sequential expansion, which is the determinism guarantee.
 	Workers int
+	// BatchEdges pins the sharded engine's fan-out batch size for the
+	// degree pass and the parallel fallback (0 = the engine default).
+	BatchEdges int
 	// ParallelFallbackMin is the minimum number of leftover edges worth
 	// fanning out (0 = default 2048; below it the sequential loop wins).
 	ParallelFallbackMin int
@@ -332,7 +335,7 @@ func (b *Buffered) Partition(src graph.EdgeStream, k int) (*part.Result, error) 
 	// batch engine's reduction lanes (bit-identical output, see
 	// DegreePassParallel).
 	sp := b.Obs.Span("degree-pass")
-	deg, m, err := DegreePassParallel(src, shard.Options{Workers: b.workersOrOne(), Obs: b.Obs.Counters()})
+	deg, m, err := DegreePassParallel(src, shard.Options{Workers: b.workersOrOne(), BatchEdges: b.BatchEdges, Obs: b.Obs.Counters()})
 	if err != nil {
 		return nil, err
 	}
@@ -371,14 +374,39 @@ func (b *Buffered) Partition(src graph.EdgeStream, k int) (*part.Result, error) 
 	}
 	sp = b.Obs.Span("expand-stream")
 	var batchErr error
-	err = src.Edges(func(u, v graph.V) bool {
-		st.batch = append(st.batch, graph.Edge{U: u, V: v})
-		if len(st.batch) == bufEdges {
-			batchErr = run()
-			return batchErr == nil
-		}
-		return true
-	})
+	if cs, ok := graph.AsChunks(src); ok {
+		// Chunk-lending source: fill the buffer by bulk copy from the lent
+		// slabs instead of one append per edge. Buffer boundaries fall at
+		// exactly the same edge offsets as the per-edge path, so the batches
+		// — and every placement downstream — are bit-identical.
+		err = cs.Chunks(func(edges []graph.Edge, release func()) bool {
+			defer release()
+			b.Obs.Counters().Add(0, obs.CtrChunksLent, 1)
+			for len(edges) > 0 {
+				take := bufEdges - len(st.batch)
+				if take > len(edges) {
+					take = len(edges)
+				}
+				st.batch = append(st.batch, edges[:take]...)
+				edges = edges[take:]
+				if len(st.batch) == bufEdges {
+					if batchErr = run(); batchErr != nil {
+						return false
+					}
+				}
+			}
+			return true
+		})
+	} else {
+		err = src.Edges(func(u, v graph.V) bool {
+			st.batch = append(st.batch, graph.Edge{U: u, V: v})
+			if len(st.batch) == bufEdges {
+				batchErr = run()
+				return batchErr == nil
+			}
+			return true
+		})
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -601,7 +629,7 @@ func (b *Buffered) fallbackParallel(st *batchState, res *part.Result, deg []int3
 	b.LastStats.FallbackEdges += int64(len(st.fbEdges))
 	st.fbEngineEdges = int64(len(st.fbEdges))
 	stream.RunHDRFParallelEdges(st.fbEdges, res, deg, lambda, capacity,
-		shard.Options{Workers: b.Workers, Obs: b.Obs.Counters()})
+		shard.Options{Workers: b.Workers, BatchEdges: b.BatchEdges, Obs: b.Obs.Counters()})
 	return true
 }
 

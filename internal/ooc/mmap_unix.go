@@ -1,0 +1,23 @@
+//go:build !nommap && (linux || darwin || freebsd || netbsd || openbsd || dragonfly)
+
+package ooc
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only and shared, returning the mapping
+// and its unmap function. The edge file is immutable input, so a shared
+// read-only mapping is safe and lets concurrent streams share page-cache
+// pages.
+func mmapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	if int64(int(size)) != size {
+		return nil, nil, syscall.EOVERFLOW // 32-bit address space smaller than the file
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

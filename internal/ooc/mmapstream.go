@@ -1,0 +1,274 @@
+package ooc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"sync/atomic"
+	"unsafe"
+
+	"hep/internal/graph"
+)
+
+// MmapStream is a binary edge-list reader in the spirit of the exemplar HEP
+// implementation, which memory-maps its graph file: the kernel pages edge
+// data straight into the partitioner's address space, so ingest costs no
+// read syscalls, no userspace buffer and — on little-endian hosts, where the
+// on-disk layout *is* the in-memory []graph.Edge layout — no decode either:
+// Chunks lends slices of the mapping itself.
+//
+// Portability: on platforms without mmap support (or under the nommap build
+// tag, which CI exercises) the same type transparently falls back to ReadAt
+// over the kept-open file with pooled decode slabs — same API, same edge
+// sequence, one buffered copy more. Mapped reports which mode is active.
+//
+// Unlike Stream, an MmapStream holds OS resources (the mapping and the file
+// descriptor) for its whole lifetime and must be Closed; lent slabs must be
+// released before Close.
+type MmapStream struct {
+	path       string
+	n          int
+	m          int64
+	chunkEdges int
+
+	f       *os.File
+	data    []byte       // the mapping (nil in ReadAt-fallback mode)
+	unmap   func() error // releases the mapping
+	edges   []graph.Edge // zero-copy view of data (little-endian hosts only)
+	closed  atomic.Bool
+	lentOut atomic.Int64 // slabs currently lent (guards Close in tests)
+}
+
+// hostLittleEndian reports whether the running machine stores uint32s in
+// the file's byte order, making the mapped bytes directly reinterpretable.
+var hostLittleEndian = func() bool {
+	x := uint32(0x01020304)
+	return *(*byte)(unsafe.Pointer(&x)) == 0x04
+}()
+
+// edgeLayoutMatches pins the struct layout the zero-copy view depends on:
+// graph.Edge must be exactly two packed uint32s, U first.
+const edgeLayoutMatches = unsafe.Sizeof(graph.Edge{}) == 8 && unsafe.Offsetof(graph.Edge{}.V) == 4
+
+// OpenMmap opens a binary edge-list file (consecutive little-endian uint32
+// pairs, the same format Open reads) as a memory-mapped EdgeStream. n > 0
+// declares the vertex count, n == 0 discovers it with one scan over the
+// mapping, n < 0 skips discovery (NumVertices reports 0). If the platform
+// cannot map the file the reader silently uses its ReadAt fallback.
+func OpenMmap(path string, n int) (*MmapStream, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if fi.Size()%8 != 0 {
+		f.Close()
+		return nil, fmt.Errorf("ooc: %s: size %d not a multiple of 8", path, fi.Size())
+	}
+	s := &MmapStream{path: path, m: fi.Size() / 8, chunkEdges: DefaultChunkEdges, f: f}
+	if fi.Size() > 0 {
+		if data, unmap, err := mmapFile(f, fi.Size()); err == nil {
+			s.data, s.unmap = data, unmap
+			if hostLittleEndian && edgeLayoutMatches {
+				s.edges = unsafe.Slice((*graph.Edge)(unsafe.Pointer(&data[0])), s.m)
+			}
+		}
+		// A map failure (errMmapUnsupported, exotic filesystems, 32-bit
+		// address-space exhaustion) is not fatal: the ReadAt path serves the
+		// same edges from the same descriptor.
+	}
+	if n > 0 {
+		s.n = n
+		return s, nil
+	}
+	if n < 0 {
+		return s, nil
+	}
+	var max graph.V
+	seen := false
+	if err := s.Edges(func(u, v graph.V) bool {
+		seen = true
+		if u > max {
+			max = u
+		}
+		if v > max {
+			max = v
+		}
+		return true
+	}); err != nil {
+		s.Close()
+		return nil, err
+	}
+	if seen {
+		s.n = int(max) + 1
+	}
+	return s, nil
+}
+
+// NumVertices implements graph.EdgeStream.
+func (s *MmapStream) NumVertices() int { return s.n }
+
+// NumEdges implements graph.EdgeStream.
+func (s *MmapStream) NumEdges() int64 { return s.m }
+
+// Mapped reports whether the file is actually memory-mapped (false in the
+// ReadAt fallback mode — nommap builds or platforms without mmap).
+func (s *MmapStream) Mapped() bool { return s.data != nil }
+
+// ZeroCopy reports whether Chunks lends slices of the mapping itself
+// (mapped, little-endian host) rather than decoded pool slabs.
+func (s *MmapStream) ZeroCopy() bool { return s.edges != nil }
+
+// Close unmaps the file and closes the descriptor. Idempotent. Lent slabs
+// of a zero-copy stream must be released before Close — they alias the
+// mapping.
+func (s *MmapStream) Close() error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	var err error
+	if s.unmap != nil {
+		err = s.unmap()
+		s.data, s.edges = nil, nil
+	}
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Edges implements graph.EdgeStream. Zero-copy mode walks the mapped edge
+// view directly; mapped big-endian hosts decode from the mapping; the
+// fallback decodes from ReadAt chunks.
+func (s *MmapStream) Edges(yield func(u, v graph.V) bool) error {
+	if s.closed.Load() {
+		return fmt.Errorf("ooc: %s: stream is closed", s.path)
+	}
+	if s.edges != nil {
+		for i := range s.edges {
+			if !yield(s.edges[i].U, s.edges[i].V) {
+				return nil
+			}
+		}
+		return nil
+	}
+	if s.data != nil {
+		for off := 0; off < len(s.data); off += 8 {
+			u := binary.LittleEndian.Uint32(s.data[off : off+4])
+			v := binary.LittleEndian.Uint32(s.data[off+4 : off+8])
+			if !yield(u, v) {
+				return nil
+			}
+		}
+		return nil
+	}
+	buf := make([]byte, s.chunkEdges*8)
+	var off int64
+	for off < s.m*8 {
+		n, err := s.f.ReadAt(buf, off)
+		if valid := n - n%8; valid > 0 {
+			for i := 0; i < valid; i += 8 {
+				u := binary.LittleEndian.Uint32(buf[i : i+4])
+				v := binary.LittleEndian.Uint32(buf[i+4 : i+8])
+				if !yield(u, v) {
+					return nil
+				}
+			}
+			off += int64(valid)
+		}
+		if err != nil {
+			if off >= s.m*8 {
+				return nil
+			}
+			return fmt.Errorf("ooc: %s: read at %d: %w", s.path, off, err)
+		}
+	}
+	return nil
+}
+
+// Chunks implements graph.ChunkStream. In zero-copy mode the lent slabs are
+// slices of the mapping itself — release is a no-op and nothing is ever
+// copied or decoded. Otherwise chunks are decoded into a pool of lentSlabs
+// recycled slabs, like Stream.Chunks without the prefetch goroutine (the
+// page cache — or the mapping — already holds the bytes).
+func (s *MmapStream) Chunks(yield func(edges []graph.Edge, release func()) bool) error {
+	if s.closed.Load() {
+		return fmt.Errorf("ooc: %s: stream is closed", s.path)
+	}
+	if s.edges != nil {
+		for off := 0; off < len(s.edges); off += s.chunkEdges {
+			end := off + s.chunkEdges
+			if end > len(s.edges) {
+				end = len(s.edges)
+			}
+			s.lentOut.Add(1)
+			var released atomic.Bool
+			release := func() {
+				if released.CompareAndSwap(false, true) {
+					s.lentOut.Add(-1)
+				}
+			}
+			if !yield(s.edges[off:end:end], release) {
+				return nil
+			}
+		}
+		return nil
+	}
+	free := make(chan []graph.Edge, lentSlabs)
+	for i := 0; i < lentSlabs; i++ {
+		free <- make([]graph.Edge, s.chunkEdges)
+	}
+	var buf []byte
+	if s.data == nil {
+		buf = make([]byte, s.chunkEdges*8)
+	}
+	var off int64
+	for off < s.m*8 {
+		slab := <-free
+		var edges []graph.Edge
+		if s.data != nil {
+			end := off + int64(s.chunkEdges*8)
+			if end > int64(len(s.data)) {
+				end = int64(len(s.data))
+			}
+			edges = slab[:(end-off)/8]
+			decodeEdges(edges, s.data[off:end])
+			off = end
+		} else {
+			n, err := s.f.ReadAt(buf, off)
+			valid := n - n%8
+			if valid == 0 {
+				if err != nil && off < s.m*8 {
+					return fmt.Errorf("ooc: %s: read at %d: %w", s.path, off, err)
+				}
+				return nil
+			}
+			edges = slab[:valid/8]
+			decodeEdges(edges, buf[:valid])
+			off += int64(valid)
+		}
+		full := slab
+		var released atomic.Bool
+		release := func() {
+			if released.CompareAndSwap(false, true) {
+				select {
+				case free <- full:
+				default:
+				}
+			}
+		}
+		if !yield(edges, release) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Lent returns the number of zero-copy slabs currently lent out (always 0
+// in fallback modes, whose slabs are pool-owned). Test hook for the release
+// discipline.
+func (s *MmapStream) Lent() int64 { return s.lentOut.Load() }

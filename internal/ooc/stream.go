@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync/atomic"
 
 	"hep/internal/graph"
 )
@@ -172,4 +173,109 @@ func (s *Stream) Edges(yield func(u, v graph.V) bool) error {
 		}
 	}
 	return nil
+}
+
+// lentSlabs is the slab-pool depth of the chunk-lending path: two slabs keep
+// decode and consumption overlapped like the Edges pipeline, and the third is
+// the lending slack — while a slow consumer (a worker still placing the
+// batches sliced out of one slab) holds a slab past the next yield, the
+// prefetch goroutine still has a free slab to decode into, so read-ahead
+// never stalls on a lent buffer.
+const lentSlabs = 3
+
+// edgeChunk is one decoded block of the file in flight to the consumer.
+type edgeChunk struct {
+	edges []graph.Edge // filled prefix of a recycled slab
+	err   error        // terminal read error (not io.EOF)
+}
+
+// Chunks implements graph.ChunkStream: the same chunked prefetch pipeline as
+// Edges, but the read-ahead goroutine also *decodes* each chunk into a
+// []graph.Edge slab which is then lent to the consumer — both the disk read
+// and the byte decode come off the consumer's thread, and the consumer
+// slices batches out of the slab without copying an edge. Slabs recycle
+// through a free pool once released; at most lentSlabs are resident.
+func (s *Stream) Chunks(yield func(edges []graph.Edge, release func()) bool) error {
+	f, err := os.Open(s.path)
+	if err != nil {
+		return err
+	}
+	done := make(chan struct{})
+	defer close(done)
+
+	free := make(chan []graph.Edge, lentSlabs)
+	full := make(chan edgeChunk, lentSlabs)
+	for i := 0; i < lentSlabs; i++ {
+		free <- make([]graph.Edge, s.chunkEdges)
+	}
+
+	go func() {
+		defer close(full)
+		defer f.Close()
+		buf := make([]byte, s.chunkEdges*8)
+		for {
+			var slab []graph.Edge
+			select {
+			case slab = <-free:
+			case <-done:
+				return
+			}
+			n, err := io.ReadFull(f, buf)
+			if valid := n - n%8; valid > 0 {
+				edges := slab[:valid/8]
+				decodeEdges(edges, buf)
+				select {
+				case full <- edgeChunk{edges: edges}:
+				case <-done:
+					return
+				}
+			}
+			if err == nil {
+				continue
+			}
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				if n%8 != 0 {
+					err = fmt.Errorf("ooc: %s: truncated edge record (%d trailing bytes)", s.path, n%8)
+				} else {
+					return // clean tail
+				}
+			}
+			select {
+			case full <- edgeChunk{err: err}:
+			case <-done:
+			}
+			return
+		}
+	}()
+
+	for c := range full {
+		if c.err != nil {
+			return c.err
+		}
+		slab := c.edges[:cap(c.edges)]
+		var released atomic.Bool
+		release := func() {
+			if released.CompareAndSwap(false, true) {
+				// The pool holds at most lentSlabs slabs, so the buffered
+				// send cannot block even after the reader has exited.
+				select {
+				case free <- slab:
+				default:
+				}
+			}
+		}
+		if !yield(c.edges, release) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// decodeEdges decodes len(dst) little-endian uint32 pairs from buf into dst.
+func decodeEdges(dst []graph.Edge, buf []byte) {
+	for i := range dst {
+		off := i * 8
+		dst[i].U = binary.LittleEndian.Uint32(buf[off : off+4])
+		dst[i].V = binary.LittleEndian.Uint32(buf[off+4 : off+8])
+	}
 }

@@ -33,6 +33,9 @@ type Restream struct {
 	// affinity against a frozen prior state that every worker can read
 	// without coordination. Workers ≤ 1 keeps the sequential passes.
 	Workers int
+	// BatchEdges pins the engine's fan-out batch size (0 = stream-scaled
+	// ceiling with adaptive sizing on).
+	BatchEdges int
 	// Obs is the observability hook (nil = disabled): the degree pass and
 	// every streaming pass record phase spans, and the parallel engine folds
 	// hot-path counters into it.
@@ -59,7 +62,7 @@ func (r *Restream) Partition(src graph.EdgeStream, k int) (*part.Result, error) 
 	if alpha == 0 {
 		alpha = 1.05
 	}
-	opts := shard.Options{Workers: r.Workers, Obs: r.Obs.Counters()}
+	opts := shard.Options{Workers: r.Workers, BatchEdges: r.BatchEdges, Obs: r.Obs.Counters()}
 	parallel := r.Workers > 1
 
 	// Exact-degree pre-pass; with Workers > 1 it fans out through the same

@@ -35,11 +35,31 @@ type Options struct {
 	Workers int
 	// BatchEdges is the batch size edges are fanned out in (0 =
 	// DefaultBatchEdges). Smaller batches tighten the staleness of the
-	// load bounds at the cost of more fold/snapshot traffic.
+	// load bounds at the cost of more fold/snapshot traffic. With a Sizer
+	// installed it is the upper bound the per-batch sizes vary under (job
+	// buffers are allocated at this size once).
 	BatchEdges int
 	// Obs is the hot-path counter sink (nil = disabled). The engine folds
 	// batch/edge/stall totals into it at delivery boundaries.
 	Obs *obs.Counters
+	// AdaptiveBatch selects capacity-aware adaptive batch sizing: batches
+	// shrink as the most-loaded partition approaches the α capacity bound
+	// (staleness is dangerous near the bound) and grow back toward the
+	// BatchEdges ceiling while headroom is plentiful (staleness is cheap).
+	// The engine itself only consults Sizer; runners that know the
+	// capacity bound (internal/stream) translate this flag into an
+	// AdaptiveSizer. On by default in the parallel streaming runners when
+	// BatchEdges is 0; an explicit BatchEdges pins fixed-size batches.
+	AdaptiveBatch bool
+	// Sizer, if non-nil, dictates each successive dispatch batch size
+	// (clamped to [1, BatchEdges]). Installed by runners from
+	// AdaptiveBatch; direct users may plug any policy.
+	Sizer BatchSizer
+	// CopyDispatch forces per-edge copy dispatch even when the source
+	// lends decoded chunks (graph.ChunkStream) — the measurement baseline
+	// for the zero-copy path, and an escape hatch should a lending source
+	// misbehave.
+	CopyDispatch bool
 }
 
 // Resolve returns the effective worker count: Workers, or GOMAXPROCS for 0.

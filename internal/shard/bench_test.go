@@ -1,0 +1,66 @@
+package shard_test
+
+import (
+	"fmt"
+	"testing"
+
+	"hep/internal/graph"
+	"hep/internal/obs"
+	"hep/internal/shard"
+)
+
+// nopPlacer isolates dispatch cost: placement writes a constant so the
+// benchmark's per-edge time is the engine's own overhead, not HDRF scoring.
+type nopPlacer struct{}
+
+func (nopPlacer) PlaceBatch(edges []graph.Edge, parts []int32) {
+	for i := range parts {
+		parts[i] = 0
+	}
+}
+
+// BenchmarkZeroCopyDispatch compares the two dispatch modes of the sharded
+// engine over the same chunked in-memory workload: `copy` forces the legacy
+// per-edge append on the dispatch thread (Options.CopyDispatch), `lend`
+// slices lent slabs at batch boundaries. The ns/edge metric is the number
+// the README dispatch-cost table records; the lending sub-benchmarks also
+// assert bytes_copied_dispatch == 0.
+func BenchmarkZeroCopyDispatch(b *testing.B) {
+	const slabEdges, slabCount = 1 << 16, 16 // 1 Mi edges per pass
+	for _, workers := range []int{1, 2, 4, 8} {
+		for _, mode := range []string{"copy", "lend"} {
+			b.Run(fmt.Sprintf("%s/W=%d", mode, workers), func(b *testing.B) {
+				src := newSlabSource(1<<20, slabEdges, slabCount)
+				m := src.NumEdges()
+				ws := make([]shard.BatchPlacer, workers)
+				for i := range ws {
+					ws[i] = nopPlacer{}
+				}
+				c := obs.NewCounters(workers)
+				opts := shard.Options{
+					Workers:      workers,
+					BatchEdges:   shard.DefaultBatchEdges,
+					Obs:          c,
+					CopyDispatch: mode == "copy",
+				}
+				deliver := func(edges []graph.Edge, parts []int32) {}
+				b.SetBytes(m * 8)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := shard.Run(src, ws, opts, deliver); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(int64(b.N)*m), "ns/edge")
+				if mode == "lend" {
+					if n := c.Total(obs.CtrBytesCopiedDispatch); n != 0 {
+						b.Fatalf("bytes_copied_dispatch = %d on the lending path, want 0", n)
+					}
+				} else if n := c.Total(obs.CtrBytesCopiedDispatch); n == 0 {
+					b.Fatal("copy mode folded no bytes_copied_dispatch")
+				}
+			})
+		}
+	}
+}

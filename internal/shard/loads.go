@@ -85,3 +85,13 @@ func (s *ShardedLoads) Snapshot(dst []int64) (max, min int64, argmin int) {
 	s.mu.Unlock()
 	return max, min, argmin
 }
+
+// Bounds returns the tracked (max, min) of the folded global counts without
+// copying them — the cheap read the adaptive batch sizer takes once per
+// dispatched batch.
+func (s *ShardedLoads) Bounds() (max, min int64) {
+	s.mu.Lock()
+	max, min = s.global.Max(), s.global.Min()
+	s.mu.Unlock()
+	return max, min
+}

@@ -141,6 +141,31 @@ func (s AbortStream) Edges(yield func(u, v graph.V) bool) error {
 	})
 }
 
+// Chunks implements graph.ChunkStream by delegation when the wrapped stream
+// lends chunks; the abort flag is checked at slab boundaries (a batch-sized
+// lag at worst, same as the engine's own drain behavior). A slab refused
+// because of the abort is released immediately.
+func (s AbortStream) Chunks(yield func(edges []graph.Edge, release func()) bool) error {
+	cs, ok := graph.AsChunks(s.EdgeStream)
+	if !ok {
+		return errors.New("shard: wrapped stream does not lend chunks")
+	}
+	return cs.Chunks(func(edges []graph.Edge, release func()) bool {
+		if s.Stop.Load() {
+			release()
+			return false
+		}
+		return yield(edges, release)
+	})
+}
+
+// LendsChunks is the graph.AsChunks conditional-lending hook: an AbortStream
+// only lends when the stream it wraps does.
+func (s AbortStream) LendsChunks() bool {
+	_, ok := graph.AsChunks(s.EdgeStream)
+	return ok
+}
+
 // degreeWorker is one lane of the parallel exact-degree pre-pass: every edge
 // of a batch adds 1 to both endpoints in the worker's lane, and the lane
 // folds at the batch boundary. n ≥ 0 fixes the vertex domain (ids beyond it

@@ -84,24 +84,25 @@ func (w *hdrfWorker) PlaceBatch(edges []graph.Edge, parts []int32) {
 	w.loads.Fold(w.id)
 }
 
-// adaptiveBatch resolves the engine batch size: an explicit opts value is
-// taken literally; otherwise the batch scales with the stream so the total
-// staleness window (W workers × one batch) stays around 2% of the edges —
-// on small inputs a full-size batch would let one worker's stale view
-// concentrate enough load on one partition to dent the balance, while on
-// anything large the default caps the per-batch synchronization cost.
-func adaptiveBatch(totalM int64, workers, batch int) int {
-	if batch > 0 {
-		return batch
+// sizeBatches resolves the batch policy for one parallel run. An explicit
+// opts.BatchEdges pins fixed-size batches at that literal value (and turns
+// adaptive sizing off unless opts.AdaptiveBatch asks for it); BatchEdges = 0
+// takes the shard.FixedBatch ceiling — batches scale with the stream so the
+// total staleness window (W workers × one batch) stays around 2% of the
+// edges — with capacity-aware adaptive sizing on by default varying batch
+// sizes below that ceiling from the live load bounds. Count-less streams
+// (totalM ≤ 0) keep the DefaultBatchEdges ceiling instead of collapsing to
+// the floor, and their unbounded capacity pins the adaptive policy at the
+// ceiling too.
+func sizeBatches(opts *shard.Options, loads *shard.ShardedLoads, capacity, totalM int64, workers int) {
+	adaptive := opts.AdaptiveBatch || opts.BatchEdges <= 0
+	if opts.BatchEdges <= 0 {
+		opts.BatchEdges = shard.FixedBatch(totalM, workers)
 	}
-	b := int(totalM / int64(50*workers))
-	if b > shard.DefaultBatchEdges {
-		b = shard.DefaultBatchEdges
+	if adaptive && opts.Sizer == nil {
+		opts.Sizer = shard.NewAdaptiveSizer(loads, capacity, workers, opts.BatchEdges)
 	}
-	if b < 256 {
-		b = 256
-	}
-	return b
+	opts.AdaptiveBatch = adaptive
 }
 
 // RunHDRFParallel is RunHDRF through the sharded engine: the edge stream is
@@ -114,13 +115,13 @@ func RunHDRFParallel(src graph.EdgeStream, res *part.Result, deg []int32, lambda
 	if workers <= 1 {
 		return RunHDRF(src, res, deg, lambda, alpha, totalM)
 	}
-	// Size batches from totalM, never src.NumEdges(): a count-less stream
-	// (NumEdges() == 0, count unknown) would collapse the batch to the 256
-	// floor and pay ~16× the per-batch synchronization on large streams.
-	opts.BatchEdges = adaptiveBatch(totalM, workers, opts.BatchEdges)
 	capacity := capFor(alpha, totalM, res.K)
 	sh := res.Shared(workers).SetObs(opts.Obs)
 	defer sh.Finish()
+	// Size batches from totalM, never src.NumEdges(): a count-less stream
+	// (NumEdges() == 0, count unknown) would collapse the batch to the 256
+	// floor and pay ~16× the per-batch synchronization on large streams.
+	sizeBatches(&opts, sh.Loads, capacity, totalM, workers)
 	ws := make([]shard.BatchPlacer, workers)
 	for i := range ws {
 		ws[i] = newHDRFWorker(i, sh.Table.View(), sh, deg, lambda, capacity)
@@ -141,12 +142,12 @@ func RunHDRFWithStateParallel(src graph.EdgeStream, res, state *part.Result, deg
 	if workers <= 1 {
 		return RunHDRFWithState(src, res, state, deg, lambda, alpha, totalM)
 	}
-	// Like RunHDRFParallel: batches size from the trusted totalM, not a
-	// possibly count-less stream.
-	opts.BatchEdges = adaptiveBatch(totalM, workers, opts.BatchEdges)
 	capacity := capFor(alpha, totalM, res.K)
 	sh := res.Shared(workers).SetObs(opts.Obs)
 	defer sh.Finish()
+	// Like RunHDRFParallel: batches size from the trusted totalM, not a
+	// possibly count-less stream.
+	sizeBatches(&opts, sh.Loads, capacity, totalM, workers)
 	ws := make([]shard.BatchPlacer, workers)
 	for i := range ws {
 		ws[i] = newHDRFWorker(i, state.Reps.Reader(), sh, deg, lambda, capacity)
@@ -168,7 +169,12 @@ func RunHDRFParallelEdges(edges []graph.Edge, res *part.Result, deg []int32, lam
 	if workers < 1 {
 		workers = 1
 	}
-	opts.BatchEdges = adaptiveBatch(int64(len(edges)), workers, opts.BatchEdges)
+	// RunSlice batches alias the slice and cost no dispatch copying, so a
+	// fixed size suffices; the slice is small (leftover batch edges), making
+	// adaptive shrinkage moot.
+	if opts.BatchEdges <= 0 {
+		opts.BatchEdges = shard.FixedBatch(int64(len(edges)), workers)
+	}
 	sh := res.Shared(workers).SetObs(opts.Obs)
 	defer sh.Finish()
 	ws := make([]shard.BatchPlacer, workers)

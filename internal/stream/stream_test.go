@@ -6,8 +6,10 @@ import (
 
 	"hep/internal/gen"
 	"hep/internal/graph"
+	"hep/internal/obs"
 	"hep/internal/part"
 	"hep/internal/parttest"
+	"hep/internal/pstate"
 	"hep/internal/shard"
 )
 
@@ -315,22 +317,42 @@ func TestHDRFCountlessMatchesCounted(t *testing.T) {
 	}
 }
 
-// TestAdaptiveBatchUsesTrustedTotal documents why the parallel runners size
-// batches from the trusted totalM parameter: an unknown stream count (0)
-// collapses the batch to the 256 floor, inflating per-batch synchronization
-// ~16× against the 4096 cap on large streams.
-func TestAdaptiveBatchUsesTrustedTotal(t *testing.T) {
-	if b := adaptiveBatch(0, 8, 0); b != 256 {
-		t.Fatalf("adaptiveBatch(unknown) = %d, want the 256 floor", b)
+// TestSizeBatchesPolicy pins the batch-policy resolution: explicit
+// BatchEdges is literal and fixed (no sizer); BatchEdges 0 takes the
+// shard.FixedBatch ceiling with the adaptive sizer installed; a genuinely
+// unknown total keeps the DefaultBatchEdges ceiling rather than collapsing
+// to the floor.
+func TestSizeBatchesPolicy(t *testing.T) {
+	loads := shard.NewShardedLoads(pstate.NewLoads(8), 8)
+	mk := func(batch int, adaptive bool) shard.Options {
+		return shard.Options{Workers: 8, BatchEdges: batch, AdaptiveBatch: adaptive}
 	}
-	if b := adaptiveBatch(1<<20, 8, 0); b != (1<<20)/(50*8) {
-		t.Fatalf("adaptiveBatch(1Mi) = %d, want %d", b, (1<<20)/(50*8))
+
+	o := mk(0, false)
+	sizeBatches(&o, loads, 1<<60, 1<<20, 8)
+	if o.BatchEdges != (1<<20)/(50*8) {
+		t.Fatalf("ceiling = %d, want FixedBatch %d", o.BatchEdges, (1<<20)/(50*8))
 	}
-	if b := adaptiveBatch(1<<30, 8, 0); b != shard.DefaultBatchEdges {
-		t.Fatalf("adaptiveBatch(1Gi) = %d, want cap %d", b, shard.DefaultBatchEdges)
+	if !o.AdaptiveBatch || o.Sizer == nil {
+		t.Fatalf("adaptive sizing not on by default: adaptive=%v sizer=%v", o.AdaptiveBatch, o.Sizer)
 	}
-	if b := adaptiveBatch(1<<30, 8, 123); b != 123 {
-		t.Fatalf("explicit batch overridden: %d", b)
+
+	o = mk(0, false)
+	sizeBatches(&o, loads, 1<<60, 0, 8)
+	if o.BatchEdges != shard.DefaultBatchEdges {
+		t.Fatalf("count-less ceiling = %d, want DefaultBatchEdges (no floor collapse)", o.BatchEdges)
+	}
+
+	o = mk(123, false)
+	sizeBatches(&o, loads, 1<<60, 1<<30, 8)
+	if o.BatchEdges != 123 || o.Sizer != nil || o.AdaptiveBatch {
+		t.Fatalf("explicit batch not pinned fixed: %+v", o)
+	}
+
+	o = mk(123, true)
+	sizeBatches(&o, loads, 1<<60, 1<<30, 8)
+	if o.BatchEdges != 123 || o.Sizer == nil {
+		t.Fatalf("explicit batch with AdaptiveBatch should keep sizer: %+v", o)
 	}
 }
 
@@ -372,5 +394,86 @@ func TestRunHDRFParallelCountlessStream(t *testing.T) {
 	}
 	if rf, srf := res.ReplicationFactor(), seq.ReplicationFactor(); rf > srf*1.02 {
 		t.Errorf("count-less parallel RF %.4f > sequential %.4f + 2%%", rf, srf)
+	}
+}
+
+// TestAdaptiveBatchAlphaNearOne pins the adaptive policy where it matters:
+// with α barely above 1.0 the capacity bound bites, batches must shrink as
+// partitions fill (batch_resizes fold), and quality must stay no worse than
+// the fixed-size policy at k ∈ {32, 128}.
+func TestAdaptiveBatchAlphaNearOne(t *testing.T) {
+	g := gen.MustDataset("OK").Build(0.1)
+	deg, m, err := graph.Degrees(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 4
+	const alpha = 1.01
+	var resizes int64
+	for _, k := range []int{32, 128} {
+		fixed := part.NewResult(g.NumVertices(), k)
+		err := RunHDRFParallel(g, fixed, deg, DefaultLambda, alpha, m,
+			shard.Options{Workers: workers, BatchEdges: shard.FixedBatch(m, workers)})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		c := obs.NewCounters(workers)
+		adapt := part.NewResult(g.NumVertices(), k)
+		err = RunHDRFParallel(g, adapt, deg, DefaultLambda, alpha, m,
+			shard.Options{Workers: workers, Obs: c})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if adapt.M != m {
+			t.Fatalf("k=%d: adaptive assigned %d of %d edges", k, adapt.M, m)
+		}
+		resizes += c.Total(obs.CtrBatchResizes)
+		frf, arf := fixed.ReplicationFactor(), adapt.ReplicationFactor()
+		if arf > frf*1.02 {
+			t.Errorf("k=%d: adaptive RF %.4f > fixed %.4f + 2%%", k, arf, frf)
+		}
+		fb, ab := fixed.Balance(), adapt.Balance()
+		if ab > fb*1.02 {
+			t.Errorf("k=%d: adaptive balance %.4f > fixed %.4f + 2%%", k, ab, fb)
+		}
+	}
+	// At k=32 the capacity bound (≈2152) starts above the floor regime, so
+	// batches must have shrunk at least once as partitions filled. (k=128's
+	// capacity ≈539 pins head/(2W) below the floor — no resizes there.)
+	if resizes == 0 {
+		t.Errorf("α=%.2f folded no batch_resizes across k sweeps — batches never shrank", alpha)
+	}
+}
+
+// TestAdaptiveBatchTinyGraph covers the m < W·floor corner: a stream far
+// smaller than one floor-sized batch per worker must still deliver every
+// edge exactly once and validate.
+func TestAdaptiveBatchTinyGraph(t *testing.T) {
+	edges := make([]graph.Edge, 100)
+	for i := range edges {
+		edges[i] = graph.Edge{U: graph.V(i % 17), V: graph.V((i + 5) % 19)}
+	}
+	g := graph.NewMemGraph(19, edges)
+	deg, m, err := graph.Degrees(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := part.NewResult(g.NumVertices(), 4)
+	col := &part.Collect{}
+	res.Sink = col
+	if err := RunHDRFParallel(g, res, deg, DefaultLambda, 1.0, m, shard.Options{Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if res.M != m {
+		t.Fatalf("assigned %d of %d edges", res.M, m)
+	}
+	if err := res.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range col.Edges {
+		if col.Edges[i].E != edges[i] {
+			t.Fatalf("delivery %d = %v, want %v", i, col.Edges[i].E, edges[i])
+		}
 	}
 }
