@@ -55,7 +55,14 @@ func main() {
 		traceJSON = flag.String("trace-json", "", "write the machine-readable run trace "+
 			"(phase timeline + hot-path counters, hep-trace/v1) to this file")
 		metricsAddr = flag.String("metrics-addr", "", "serve expvar (/debug/vars, live hep counters), "+
-			"pprof (/debug/pprof/) and the live trace (/debug/trace.json) on this address for the duration of the run")
+			"pprof (/debug/pprof/), Prometheus text exposition (/metrics) and the live trace "+
+			"(/debug/trace.json) on this address for the duration of the run")
+		obsMaxSpans = flag.Int("obs-max-spans", 0, "cap the trace span list; excess spans are dropped "+
+			"and counted in spans_dropped (0 = default 8192)")
+		obsSeriesCap = flag.Int("obs-series-cap", 0, "cap the quality-series ring; oldest samples are "+
+			"evicted FIFO (0 = default 1024, negative disables the series)")
+		obsSampleEvery = flag.Int("obs-sample-every", 0, "record every Nth quality sample "+
+			"(0 or 1 = every batch/region boundary, negative disables the series)")
 		verbose = flag.Bool("v", false, "print phase transitions and a periodic edges/s + ETA line to stderr")
 	)
 	flag.Parse()
@@ -79,7 +86,12 @@ func main() {
 		if lanes < 1 {
 			lanes = runtime.GOMAXPROCS(0)
 		}
-		o := hep.NewObs(lanes)
+		o := hep.NewObsWithOptions(hep.ObsOptions{
+			Workers:     lanes,
+			MaxSpans:    *obsMaxSpans,
+			SeriesCap:   *obsSeriesCap,
+			SampleEvery: *obsSampleEvery,
+		})
 		o.SetMeta("input", *in)
 		o.SetMeta("algorithm", *algo)
 		o.SetMeta("k", *k)

@@ -1,0 +1,354 @@
+// Command hep-trace consumes the machine-readable observability artifacts
+// the other binaries produce: hep-trace/v1 run traces (hep-partition
+// -trace-json) and hep-bench/v1 table reports (hep-bench -json). It has two
+// subcommands:
+//
+//	hep-trace diff [flags] old.json new.json
+//	hep-trace gate [flags] baseline.json candidate.json
+//
+// diff compares two run traces phase by phase — wall time and heap
+// allocation aggregated per span name, plus every hot-path counter — and
+// exits nonzero when any delta exceeds its threshold, so a CI job can hold
+// a change to the previous run's performance envelope:
+//
+//	hep-trace diff -wall-pct 25 -alloc-pct 25 -min-wall-ms 5 old.json new.json
+//
+// gate compares a hep-bench JSON report against a checked-in baseline
+// (BENCH_*.json): tables are matched by name, rows by index, and each gated
+// numeric column must stay within its tolerance of the baseline value
+// (higher is worse — quality metrics like RF and Balance only regress
+// upward). Non-numeric and ungated columns are ignored:
+//
+//	hep-trace gate -tol RF=0.05,Balance=0.05 BENCH_seed.json new.json
+//
+// Exit status: 0 = within thresholds, 1 = regression, 2 = usage or
+// malformed input.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"hep/internal/obs"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "diff":
+		os.Exit(runDiff(os.Args[2:]))
+	case "gate":
+		os.Exit(runGate(os.Args[2:]))
+	default:
+		fmt.Fprintf(os.Stderr, "hep-trace: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  hep-trace diff [flags] old.json new.json    compare two hep-trace/v1 run traces
+  hep-trace gate [flags] baseline.json candidate.json
+                                              gate a hep-bench/v1 report against a baseline`)
+}
+
+func fail(format string, args ...any) int {
+	fmt.Fprintf(os.Stderr, "hep-trace: "+format+"\n", args...)
+	return 2
+}
+
+// ---- diff: hep-trace/v1 vs hep-trace/v1 ----
+
+// phaseAgg is one span name's aggregate across a trace: closed-span wall
+// time and heap allocation summed over every occurrence (batch spans repeat;
+// the per-name sum is the stable quantity).
+type phaseAgg struct {
+	wallNs int64
+	allocB int64
+	count  int
+}
+
+func aggregate(r *obs.Report) map[string]*phaseAgg {
+	agg := make(map[string]*phaseAgg)
+	for _, s := range r.Spans {
+		if s.EndNs < 0 {
+			continue // open span: no duration to charge
+		}
+		a := agg[s.Name]
+		if a == nil {
+			a = &phaseAgg{}
+			agg[s.Name] = a
+		}
+		a.wallNs += s.EndNs - s.StartNs
+		a.allocB += s.AllocBytes
+		a.count++
+	}
+	return agg
+}
+
+func loadTrace(path string) (*obs.Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := obs.ValidateReport(data); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	var r obs.Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+func runDiff(args []string) int {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	wallPct := fs.Float64("wall-pct", 25, "fail when a phase's wall time grows by more than this percent")
+	allocPct := fs.Float64("alloc-pct", 25, "fail when a phase's heap allocation grows by more than this percent")
+	counterPct := fs.Float64("counter-pct", 0, "fail when a counter grows by more than this percent (0 = report only)")
+	minWallMs := fs.Float64("min-wall-ms", 5, "ignore phases whose baseline wall time is below this (noise floor)")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		return fail("diff needs exactly two trace files, got %d", fs.NArg())
+	}
+	oldR, err := loadTrace(fs.Arg(0))
+	if err != nil {
+		return fail("%v", err)
+	}
+	newR, err := loadTrace(fs.Arg(1))
+	if err != nil {
+		return fail("%v", err)
+	}
+
+	oldAgg, newAgg := aggregate(oldR), aggregate(newR)
+	names := make([]string, 0, len(oldAgg))
+	for n := range oldAgg {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	regressions := 0
+	fmt.Printf("%-24s %14s %14s %9s   %14s %14s %9s\n",
+		"phase", "wall(old)", "wall(new)", "Δ%", "alloc(old)", "alloc(new)", "Δ%")
+	for _, n := range names {
+		o := oldAgg[n]
+		nw, ok := newAgg[n]
+		if !ok {
+			fmt.Printf("%-24s phase missing from new trace\n", n)
+			continue
+		}
+		wallD := pctDelta(o.wallNs, nw.wallNs)
+		allocD := pctDelta(o.allocB, nw.allocB)
+		mark := ""
+		aboveFloor := float64(o.wallNs)/1e6 >= *minWallMs
+		if aboveFloor && wallD > *wallPct {
+			mark, regressions = " WALL-REGRESSION", regressions+1
+		}
+		if aboveFloor && allocD > *allocPct {
+			mark += " ALLOC-REGRESSION"
+			regressions++
+		}
+		fmt.Printf("%-24s %14s %14s %8.1f%%   %14d %14d %8.1f%%%s\n",
+			n, fmtNs(o.wallNs), fmtNs(nw.wallNs), wallD, o.allocB, nw.allocB, allocD, mark)
+	}
+	for n := range newAgg {
+		if _, ok := oldAgg[n]; !ok {
+			fmt.Printf("%-24s phase new in new trace (%s)\n", n, fmtNs(newAgg[n].wallNs))
+		}
+	}
+
+	ctrNames := make([]string, 0, len(oldR.Counters))
+	for n := range oldR.Counters {
+		ctrNames = append(ctrNames, n)
+	}
+	sort.Strings(ctrNames)
+	fmt.Printf("\n%-24s %14s %14s %9s\n", "counter", "old", "new", "Δ%")
+	for _, n := range ctrNames {
+		ov, nv := oldR.Counters[n], newR.Counters[n]
+		d := pctDelta(ov, nv)
+		mark := ""
+		if *counterPct > 0 && d > *counterPct {
+			mark, regressions = " COUNTER-REGRESSION", regressions+1
+		}
+		fmt.Printf("%-24s %14d %14d %8.1f%%%s\n", n, ov, nv, d, mark)
+	}
+
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "hep-trace: %d regression(s) above threshold\n", regressions)
+		return 1
+	}
+	fmt.Println("\nOK: within thresholds")
+	return 0
+}
+
+// pctDelta is the growth of new over old in percent; a zero baseline makes
+// any growth read as +100% per unit so it still trips percent thresholds.
+func pctDelta(old, new int64) float64 {
+	if old == 0 {
+		if new == 0 {
+			return 0
+		}
+		return 100 * float64(new)
+	}
+	return 100 * (float64(new) - float64(old)) / float64(old)
+}
+
+func fmtNs(ns int64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.1fms", float64(ns)/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}
+
+// ---- gate: hep-bench/v1 vs baseline ----
+
+// defaultTols gates the quality columns every BENCH table shares. RF and
+// Balance are ratios near 1 where a 5% drift is a real quality regression;
+// wall-clock and byte columns are machine-dependent and stay ungated unless
+// the caller lists them explicitly.
+var defaultTols = map[string]float64{"RF": 0.05, "Balance": 0.05}
+
+func parseTols(spec string) (map[string]float64, error) {
+	tols := make(map[string]float64, len(defaultTols))
+	for k, v := range defaultTols {
+		tols[k] = v
+	}
+	if spec == "" {
+		return tols, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad -tol entry %q (want col=frac)", part)
+		}
+		f, err := strconv.ParseFloat(kv[1], 64)
+		if err != nil || f < 0 {
+			return nil, fmt.Errorf("bad -tol fraction in %q", part)
+		}
+		tols[kv[0]] = f
+	}
+	return tols, nil
+}
+
+func loadBench(path string) (*obs.BenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r obs.BenchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Schema != obs.BenchSchema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, r.Schema, obs.BenchSchema)
+	}
+	return &r, nil
+}
+
+// benchRows decodes a table's raw rows into ordered column maps.
+func benchRows(t obs.BenchTable) ([]map[string]any, error) {
+	var rows []map[string]any
+	if err := json.Unmarshal(t.Rows, &rows); err != nil {
+		return nil, fmt.Errorf("table %s: %w", t.Name, err)
+	}
+	return rows, nil
+}
+
+func runGate(args []string) int {
+	fs := flag.NewFlagSet("gate", flag.ExitOnError)
+	tolSpec := fs.String("tol", "", "comma-separated col=frac tolerances, e.g. RF=0.05,Balance=0.05 "+
+		"(merged over the defaults; higher values are regressions)")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		return fail("gate needs a baseline and a candidate report, got %d args", fs.NArg())
+	}
+	tols, err := parseTols(*tolSpec)
+	if err != nil {
+		return fail("%v", err)
+	}
+	base, err := loadBench(fs.Arg(0))
+	if err != nil {
+		return fail("%v", err)
+	}
+	cand, err := loadBench(fs.Arg(1))
+	if err != nil {
+		return fail("%v", err)
+	}
+
+	candTables := make(map[string]obs.BenchTable, len(cand.Tables))
+	for _, t := range cand.Tables {
+		candTables[t.Name] = t
+	}
+
+	regressions, compared := 0, 0
+	for _, bt := range base.Tables {
+		ct, ok := candTables[bt.Name]
+		if !ok {
+			// The candidate may be a partial run (one experiment); only the
+			// tables it produced are gated.
+			continue
+		}
+		bRows, err := benchRows(bt)
+		if err != nil {
+			return fail("baseline %v", err)
+		}
+		cRows, err := benchRows(ct)
+		if err != nil {
+			return fail("candidate %v", err)
+		}
+		if len(bRows) != len(cRows) {
+			return fail("table %s: baseline has %d rows, candidate %d — not comparable by index",
+				bt.Name, len(bRows), len(cRows))
+		}
+		for i := range bRows {
+			for col, tol := range tols {
+				bv, bok := asFloat(bRows[i][col])
+				cv, cok := asFloat(cRows[i][col])
+				if !bok || !cok {
+					continue // column absent or non-numeric in this table
+				}
+				compared++
+				// Higher is worse. A zero baseline switches to an absolute
+				// bound (a relative tolerance of 0 would reject any value).
+				limit := bv * (1 + tol)
+				if bv == 0 {
+					limit = tol
+				}
+				if cv > limit {
+					fmt.Printf("REGRESSION %s[%d].%s: baseline %.4f, candidate %.4f (tol %.1f%%)\n",
+						bt.Name, i, col, bv, cv, 100*tol)
+					regressions++
+				}
+			}
+		}
+	}
+	if compared == 0 {
+		return fail("no gated columns compared — table or column mismatch between reports")
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "hep-trace: %d quality regression(s) against %s\n", regressions, fs.Arg(0))
+		return 1
+	}
+	fmt.Printf("OK: %d gated values within tolerance of %s\n", compared, fs.Arg(0))
+	return 0
+}
+
+func asFloat(v any) (float64, bool) {
+	f, ok := v.(float64) // encoding/json decodes every JSON number as float64
+	return f, ok
+}

@@ -80,15 +80,26 @@ type (
 	// Summary is the standard metric row (RF, balance, vertex balance).
 	Summary = metrics.Summary
 	// Obs is the runtime observability hook (internal/obs): phase spans,
-	// hot-path counters and machine-readable trace reports. A nil *Obs
-	// disables every instrumentation point at zero cost.
+	// hot-path counters, latency/size histograms, a quality time series and
+	// machine-readable trace reports. A nil *Obs disables every
+	// instrumentation point at zero cost.
 	Obs = obs.Obs
+	// ObsOptions parameterizes NewObsWithOptions: worker lane count, span
+	// cap, quality-series ring capacity and sampling stride.
+	ObsOptions = obs.Options
 )
 
 // NewObs returns an observability hook sized for the given worker count
 // (one padded counter lane per worker; workers ≤ 0 gets one lane). Pass it
 // via Config.Obs, then read the trace with Obs.Report or Obs.WriteJSONFile.
 func NewObs(workers int) *Obs { return obs.New(workers) }
+
+// NewObsWithOptions is NewObs with the sampling and capacity knobs exposed:
+// MaxSpans bounds the span list (excess spans are dropped and counted),
+// SeriesCap bounds the quality-series ring (oldest samples evicted), and
+// SampleEvery thins quality sampling to every Nth boundary (negative
+// disables the series entirely). Zero values take the defaults.
+func NewObsWithOptions(opts ObsOptions) *Obs { return obs.NewWithOptions(opts) }
 
 // Algorithm names accepted by Config.Algorithm.
 const (

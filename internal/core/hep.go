@@ -124,6 +124,7 @@ func (h *HEP) PartitionCSR(csr *graph.CSR, k int) (*part.Result, error) {
 	ne.Run()
 	h.LastStats = ne.Stats()
 	h.Obs.Counters().Add(0, obs.CtrEdgesStreamed, res.M)
+	res.SampleQuality(h.Obs)
 	sp.Edges(res.M).End()
 
 	// Phase 2: informed stateful streaming over E_h2h (§3.3). The replica
@@ -137,13 +138,14 @@ func (h *HEP) PartitionCSR(csr *graph.CSR, k int) (*part.Result, error) {
 			err = stream.RunRandom(h2h, res, h.Seed, alpha, csr.M())
 		case h.Workers > 1:
 			err = stream.RunHDRFParallel(h2h, res, csr.Degrees(), lambda, alpha, csr.M(),
-				shard.Options{Workers: h.Workers, BatchEdges: h.BatchEdges, Obs: h.Obs.Counters()})
+				shard.Options{Workers: h.Workers, BatchEdges: h.BatchEdges, Obs: h.Obs.Counters(), Hub: h.Obs})
 		default:
 			err = stream.RunHDRF(h2h, res, csr.Degrees(), lambda, alpha, csr.M())
 		}
 		if err != nil {
 			return nil, err
 		}
+		res.SampleQuality(h.Obs)
 		sp.End()
 	}
 	return res, nil

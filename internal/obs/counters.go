@@ -157,6 +157,7 @@ type lane struct {
 // and the readers are no-ops, so call sites need no enabled-check branches.
 type Counters struct {
 	lanes  []lane
+	hists  []histLane // log2-bucket histogram lanes, same per-worker layout
 	gauges [NumGauges]atomic.Int64
 }
 
@@ -167,7 +168,7 @@ func NewCounters(w int) *Counters {
 	if w < 1 {
 		w = 1
 	}
-	return &Counters{lanes: make([]lane, w)}
+	return &Counters{lanes: make([]lane, w), hists: make([]histLane, w)}
 }
 
 // Add accumulates d into worker w's lane. Nil-safe.

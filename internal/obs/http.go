@@ -19,9 +19,11 @@ var (
 )
 
 // ServeDebug starts the `-metrics-addr` debug listener: expvar
-// (/debug/vars, including live hep_counters/hep_gauges), the pprof suite
-// (/debug/pprof/), and the live trace report (/debug/trace.json). Returns
-// the server (Close it to stop) and the bound address (useful with ":0").
+// (/debug/vars, including live hep_counters/hep_gauges/hep_spans_dropped),
+// Prometheus text exposition (/metrics — counters, gauges, histograms and
+// the latest quality sample), the pprof suite (/debug/pprof/), and the live
+// trace report (/debug/trace.json). Returns the server (Close it to stop)
+// and the bound address (useful with ":0").
 func ServeDebug(o *Obs, addr string) (*http.Server, net.Addr, error) {
 	currentObs.Store(o)
 	publishOnce.Do(func() {
@@ -31,6 +33,12 @@ func ServeDebug(o *Obs, addr string) (*http.Server, net.Addr, error) {
 		expvar.Publish("hep_gauges", expvar.Func(func() any {
 			return currentObs.Load().Counters().GaugeSnapshot()
 		}))
+		expvar.Publish("hep_spans_dropped", expvar.Func(func() any {
+			return currentObs.Load().DroppedSpans()
+		}))
+		expvar.Publish("hep_series_evicted", expvar.Func(func() any {
+			return currentObs.Load().SeriesEvicted()
+		}))
 	})
 
 	ln, err := net.Listen("tcp", addr)
@@ -39,6 +47,7 @@ func ServeDebug(o *Obs, addr string) (*http.Server, net.Addr, error) {
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/metrics", promHandler)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

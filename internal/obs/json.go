@@ -1,9 +1,11 @@
 package obs
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 )
 
@@ -19,13 +21,17 @@ const BenchSchema = "hep-bench/v1"
 // final counter/gauge totals. This is the format `-trace-json` writes and
 // BENCH_*.json snapshots embed.
 type Report struct {
-	Schema       string           `json:"schema"`
-	Meta         map[string]any   `json:"meta,omitempty"`
-	TotalEdges   int64            `json:"total_edges,omitempty"`
-	Spans        []SpanRecord     `json:"spans"`
-	DroppedSpans int64            `json:"dropped_spans,omitempty"`
-	Counters     map[string]int64 `json:"counters"`
-	Gauges       map[string]int64 `json:"gauges"`
+	Schema        string                     `json:"schema"`
+	Meta          map[string]any             `json:"meta,omitempty"`
+	Repro         map[string]string          `json:"repro,omitempty"`
+	TotalEdges    int64                      `json:"total_edges,omitempty"`
+	Spans         []SpanRecord               `json:"spans"`
+	DroppedSpans  int64                      `json:"dropped_spans,omitempty"`
+	Counters      map[string]int64           `json:"counters"`
+	Gauges        map[string]int64           `json:"gauges"`
+	Series        []QualitySample            `json:"series,omitempty"`
+	SeriesEvicted int64                      `json:"series_evicted,omitempty"`
+	Histograms    map[string]HistogramRecord `json:"histograms,omitempty"`
 }
 
 // Report assembles the current trace state into a Report. Nil-safe (returns
@@ -36,22 +42,32 @@ func (o *Obs) Report() *Report {
 		return nil
 	}
 	spans := o.Spans()
+	series := o.Series()
 	o.mu.Lock()
 	meta := make(map[string]any, len(o.meta))
 	for k, v := range o.meta {
 		meta[k] = v
 	}
+	repro := make(map[string]string, len(o.repro))
+	for k, v := range o.repro {
+		repro[k] = v
+	}
 	dropped := o.dropped
+	evicted := o.seriesEvicted
 	total := o.totalEdges
 	o.mu.Unlock()
 	return &Report{
-		Schema:       TraceSchema,
-		Meta:         meta,
-		TotalEdges:   total,
-		Spans:        spans,
-		DroppedSpans: dropped,
-		Counters:     o.c.CounterSnapshot(),
-		Gauges:       o.c.GaugeSnapshot(),
+		Schema:        TraceSchema,
+		Meta:          meta,
+		Repro:         repro,
+		TotalEdges:    total,
+		Spans:         spans,
+		DroppedSpans:  dropped,
+		Counters:      o.c.CounterSnapshot(),
+		Gauges:        o.c.GaugeSnapshot(),
+		Series:        series,
+		SeriesEvicted: evicted,
+		Histograms:    o.c.HistSnapshot(),
 	}
 }
 
@@ -63,10 +79,15 @@ func (r *Report) WriteJSON(w io.Writer) error {
 }
 
 // WriteJSONFile writes the current report to path (the `-trace-json` flag).
-// Nil-safe: a nil Obs writes nothing and returns nil.
+// Nil-safe: a nil Obs writes nothing and returns nil. When the span cap
+// dropped spans, a one-line warning goes to stderr so a truncated timeline
+// is never mistaken for a complete one.
 func (o *Obs) WriteJSONFile(path string) error {
 	if o == nil {
 		return nil
+	}
+	if d := o.DroppedSpans(); d > 0 {
+		fmt.Fprintf(os.Stderr, "[hep] warning: span cap dropped %d spans from the trace (raise the cap via ObsOptions.MaxSpans / -obs-max-spans)\n", d)
 	}
 	f, err := os.Create(path)
 	if err != nil {
@@ -140,6 +161,55 @@ func ValidateReport(data []byte) error {
 			return fmt.Errorf("trace json: span %d (%s): ends before it starts", i, s.Name)
 		}
 	}
+	// Quality series: strict-decode every sample so unknown fields are
+	// rejected (the struct decode above silently drops them), and require
+	// non-decreasing timestamps and non-negative totals.
+	var shell struct {
+		Series []json.RawMessage `json:"series"`
+	}
+	if err := json.Unmarshal(data, &shell); err != nil {
+		return fmt.Errorf("trace json: %w", err)
+	}
+	prev := int64(math.MinInt64)
+	for i, raw := range shell.Series {
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		var s QualitySample
+		if err := dec.Decode(&s); err != nil {
+			return fmt.Errorf("trace json: series[%d]: %w", i, err)
+		}
+		if s.TimeNs < prev {
+			return fmt.Errorf("trace json: series[%d]: non-monotonic timestamp %d after %d", i, s.TimeNs, prev)
+		}
+		prev = s.TimeNs
+		if s.Edges < 0 || s.Replicas < 0 || s.Covered < 0 {
+			return fmt.Errorf("trace json: series[%d]: negative running totals", i)
+		}
+		if s.RF < 0 || s.Balance < 0 || s.Spread < 0 {
+			return fmt.Errorf("trace json: series[%d]: negative quality metrics", i)
+		}
+	}
+	if r.SeriesEvicted < 0 {
+		return fmt.Errorf("trace json: negative series_evicted")
+	}
+	// Histograms: stable names only, exact log2 bucket count, non-negative.
+	knownH := make(map[string]bool, NumHists)
+	for id := HistID(0); id < NumHists; id++ {
+		knownH[id.String()] = true
+	}
+	for name, h := range r.Histograms {
+		if !knownH[name] {
+			return fmt.Errorf("trace json: unknown histogram %q", name)
+		}
+		if len(h.Counts) != HistBuckets {
+			return fmt.Errorf("trace json: histogram %q: %d buckets, want %d", name, len(h.Counts), HistBuckets)
+		}
+		for b, cnt := range h.Counts {
+			if cnt < 0 {
+				return fmt.Errorf("trace json: histogram %q: negative count in bucket %d", name, b)
+			}
+		}
+	}
 	return nil
 }
 
@@ -147,9 +217,10 @@ func ValidateReport(data []byte) error {
 // run produced, as raw rows whose field order follows the table's row
 // struct — stable across runs so snapshots diff cleanly.
 type BenchReport struct {
-	Schema string         `json:"schema"`
-	Meta   map[string]any `json:"meta,omitempty"`
-	Tables []BenchTable   `json:"tables"`
+	Schema string            `json:"schema"`
+	Meta   map[string]any    `json:"meta,omitempty"`
+	Repro  map[string]string `json:"repro,omitempty"`
+	Tables []BenchTable      `json:"tables"`
 }
 
 // BenchTable is one named experiment table.
@@ -158,9 +229,10 @@ type BenchTable struct {
 	Rows json.RawMessage `json:"rows"`
 }
 
-// NewBenchReport returns an empty bench report carrying meta.
+// NewBenchReport returns an empty bench report carrying meta plus the
+// reproducibility metadata of the producing binary.
 func NewBenchReport(meta map[string]any) *BenchReport {
-	return &BenchReport{Schema: BenchSchema, Meta: meta}
+	return &BenchReport{Schema: BenchSchema, Meta: meta, Repro: ReproMeta()}
 }
 
 // Add marshals rows (any slice of row structs) into a named table. Nil-safe:

@@ -13,7 +13,8 @@ import (
 var update = flag.Bool("update", false, "rewrite golden files")
 
 // goldenReport builds the deterministic trace the golden file pins: two
-// phases (one nested batch span), two counter lanes, one gauge, run meta —
+// phases (one nested batch span), two counter lanes, one gauge, run meta,
+// pinned repro metadata, two quality samples and three histogram lanes —
 // every field class of the hep-trace/v1 schema exercised once.
 func goldenReport() *Obs {
 	o := fakeObs(2)
@@ -33,6 +34,14 @@ func goldenReport() *Obs {
 	c.Add(1, CtrCASRetries, 3)
 	c.Add(0, CtrSpillBytes, 1<<16)
 	c.SetMax(GaugePeakExpanders, 2)
+
+	c.Observe(0, HistBatchNs, 1_500_000)
+	c.Observe(1, HistBatchNs, 900_000)
+	c.Observe(0, HistRegionEdges, 48)
+	c.Observe(1, HistStallNs, 200_000)
+
+	o.RecordSample(500, 700, 450, 160, 140, 32)
+	o.RecordSample(1000, 1250, 800, 320, 290, 32)
 	return o
 }
 
@@ -107,6 +116,23 @@ func TestValidateReportRejects(t *testing.T) {
 		{"depth-mismatch", func(r *Report) { r.Spans[2].Depth = 5 }, "depth"},
 		{"ends-before-start", func(r *Report) { r.Spans[0].EndNs = r.Spans[0].StartNs - 1 }, "ends before"},
 		{"empty-name", func(r *Report) { r.Spans[0].Name = "" }, "empty name"},
+		{"non-monotonic-series", func(r *Report) {
+			r.Series[0].TimeNs, r.Series[1].TimeNs = r.Series[1].TimeNs, r.Series[0].TimeNs
+		}, "non-monotonic"},
+		{"negative-sample-totals", func(r *Report) { r.Series[0].Covered = -1 }, "negative running totals"},
+		{"negative-sample-metric", func(r *Report) { r.Series[1].RF = -0.5 }, "negative quality metrics"},
+		{"negative-series-evicted", func(r *Report) { r.SeriesEvicted = -2 }, "series_evicted"},
+		{"unknown-histogram", func(r *Report) {
+			r.Histograms["made_up"] = HistogramRecord{Counts: make([]int64, HistBuckets)}
+		}, "unknown histogram"},
+		{"wrong-bucket-count", func(r *Report) {
+			r.Histograms["batch_latency_ns"] = HistogramRecord{Counts: make([]int64, 10)}
+		}, "buckets"},
+		{"negative-bucket-count", func(r *Report) {
+			h := r.Histograms["batch_latency_ns"]
+			h.Counts[3] = -1
+			r.Histograms["batch_latency_ns"] = h
+		}, "negative count"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -122,6 +148,27 @@ func TestValidateReportRejects(t *testing.T) {
 			}
 		})
 	}
+	// Unknown fields inside a quality sample: the struct decode silently
+	// drops them, so the strict per-sample pass must be the one to object.
+	t.Run("unknown-sample-field", func(t *testing.T) {
+		data, err := json.Marshal(base())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var m map[string]any
+		if err := json.Unmarshal(data, &m); err != nil {
+			t.Fatal(err)
+		}
+		m["series"].([]any)[0].(map[string]any)["zz_not_in_schema"] = 1
+		mutated, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		verr := ValidateReport(mutated)
+		if verr == nil || !strings.Contains(verr.Error(), "unknown field") {
+			t.Fatalf("ValidateReport = %v, want unknown-field rejection", verr)
+		}
+	})
 	var buf bytes.Buffer
 	if err := base().WriteJSON(&buf); err != nil {
 		t.Fatal(err)

@@ -28,11 +28,32 @@ import (
 	"time"
 )
 
-// maxSpans bounds the stored span list so a pathological configuration (a
-// tiny out-of-core buffer producing millions of batches) cannot turn the
-// trace into the memory problem it is measuring. Spans past the cap are
-// dropped and counted in the report's meta.
-const maxSpans = 8192
+// DefaultMaxSpans bounds the stored span list so a pathological
+// configuration (a tiny out-of-core buffer producing millions of batches)
+// cannot turn the trace into the memory problem it is measuring. Spans past
+// the cap are dropped and counted in the report's dropped_spans field; the
+// cap is configurable through Options.MaxSpans.
+const DefaultMaxSpans = 8192
+
+// DefaultSeriesCap bounds the quality-sample ring (see RecordSample); older
+// samples are evicted FIFO past the cap and counted in series_evicted.
+const DefaultSeriesCap = 1024
+
+// Options configures an observability hub beyond the worker count.
+// The zero value of every field selects the default.
+type Options struct {
+	// Workers is the number of counter/histogram lanes (min 1).
+	Workers int
+	// MaxSpans caps the stored span list (0 = DefaultMaxSpans).
+	MaxSpans int
+	// SeriesCap caps the quality-sample ring (0 = DefaultSeriesCap,
+	// negative disables sampling entirely — SampleTick always says no).
+	SeriesCap int
+	// SampleEvery thins the quality series: only every SampleEvery-th
+	// SampleTick asks for a sample (0 or 1 = every boundary, negative
+	// disables). Raising it bounds sampling overhead on tiny-batch runs.
+	SampleEvery int
+}
 
 // SpanRecord is one completed (or open) phase span as stored by the tracer
 // and emitted by the trace-JSON encoder.
@@ -73,7 +94,19 @@ type Obs struct {
 	open    []bool
 	dropped int64
 	meta    map[string]any
+	repro   map[string]string
 	notify  func(SpanEvent)
+
+	maxSpans int
+
+	// Quality-sample ring (see series.go). samples is chronological until
+	// the first eviction, then a ring with head marking the oldest slot.
+	samples       []QualitySample
+	samplesHead   int
+	samplesCap    int
+	sampleEvery   int
+	sampleSeq     int64
+	seriesEvicted int64
 
 	totalEdges int64
 
@@ -98,18 +131,44 @@ type SpanEvent struct {
 	Edges int64
 }
 
-// New returns an enabled observability hub with counter lanes for w workers.
+// New returns an enabled observability hub with counter lanes for w workers
+// and default caps.
 func New(w int) *Obs {
+	return NewWithOptions(Options{Workers: w})
+}
+
+// NewWithOptions returns an enabled observability hub with explicit caps.
+func NewWithOptions(opts Options) *Obs {
 	o := &Obs{
-		c:    NewCounters(w),
-		meta: make(map[string]any),
-		now:  time.Now,
+		c:     NewCounters(opts.Workers),
+		meta:  make(map[string]any),
+		repro: ReproMeta(),
+		now:   time.Now,
 		mem: func() (uint64, uint64) {
 			var ms runtime.MemStats
 			runtime.ReadMemStats(&ms)
 			return ms.HeapAlloc, ms.TotalAlloc
 		},
 		rss: readPeakRSS,
+	}
+	o.maxSpans = opts.MaxSpans
+	if o.maxSpans <= 0 {
+		o.maxSpans = DefaultMaxSpans
+	}
+	switch {
+	case opts.SeriesCap > 0:
+		o.samplesCap = opts.SeriesCap
+	case opts.SeriesCap == 0:
+		o.samplesCap = DefaultSeriesCap
+	}
+	o.sampleEvery = 1
+	if opts.SampleEvery > 1 {
+		o.sampleEvery = opts.SampleEvery
+	}
+	if opts.SampleEvery < 0 || opts.SeriesCap < 0 {
+		// Sampling disabled: no ticks and no ring.
+		o.sampleEvery = 0
+		o.samplesCap = 0
 	}
 	o.t0 = o.now()
 	return o
@@ -176,7 +235,7 @@ func (o *Obs) Span(name string) *Span {
 	// converts it into the span's allocation delta.
 	_, startAlloc := o.mem()
 	o.mu.Lock()
-	if len(o.spans) >= maxSpans {
+	if len(o.spans) >= o.maxSpans {
 		o.dropped++
 		o.mu.Unlock()
 		return nil
@@ -284,6 +343,17 @@ func (o *Obs) Spans() []SpanRecord {
 		}
 	}
 	return out
+}
+
+// DroppedSpans returns how many spans the cap has discarded so far.
+// Nil-safe (returns 0).
+func (o *Obs) DroppedSpans() int64 {
+	if o == nil {
+		return 0
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.dropped
 }
 
 // readPeakRSS returns the process peak resident set size in bytes (VmHWM

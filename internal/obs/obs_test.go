@@ -9,9 +9,20 @@ import (
 
 // fakeObs returns an enabled hub with deterministic time/memory sources: the
 // clock advances 1ms per observation, cumulative allocation grows 1MiB per
-// memory snapshot, live heap and peak RSS are constants.
+// memory snapshot, live heap and peak RSS are constants. The repro metadata
+// is pinned too, so golden wire-format tests don't depend on the machine.
 func fakeObs(w int) *Obs {
-	o := New(w)
+	return fakeObsWith(Options{Workers: w})
+}
+
+func fakeObsWith(opts Options) *Obs {
+	o := NewWithOptions(opts)
+	o.repro = map[string]string{
+		"go_version": "go1.24.0",
+		"gomaxprocs": "4",
+		"goos":       "linux",
+		"goarch":     "amd64",
+	}
 	base := time.Unix(1700000000, 0)
 	o.t0 = base
 	var tick int64
@@ -108,19 +119,27 @@ func TestSpanEndForceClosesChildren(t *testing.T) {
 	}
 }
 
-// TestSpanCap pins the bounded-trace guarantee: spans past maxSpans are
-// dropped (nil handle, no growth) and counted in the report.
+// TestSpanCap pins the bounded-trace guarantee: spans past the configured
+// cap are dropped (nil handle, no growth), counted in the report, and
+// surfaced through the DroppedSpans accessor the expvar/Prometheus endpoints
+// scrape.
 func TestSpanCap(t *testing.T) {
-	o := fakeObs(1)
-	const extra = 7
-	for i := 0; i < maxSpans+extra; i++ {
+	const cap, extra = 16, 7
+	o := fakeObsWith(Options{Workers: 1, MaxSpans: cap})
+	for i := 0; i < cap+extra; i++ {
 		o.Span(fmt.Sprintf("s%d", i)).End()
 	}
-	if n := len(o.Spans()); n != maxSpans {
-		t.Fatalf("stored %d spans, want the %d cap", n, maxSpans)
+	if n := len(o.Spans()); n != cap {
+		t.Fatalf("stored %d spans, want the %d cap", n, cap)
 	}
 	if r := o.Report(); r.DroppedSpans != extra {
 		t.Fatalf("dropped %d spans, want %d", r.DroppedSpans, extra)
+	}
+	if got := o.DroppedSpans(); got != extra {
+		t.Fatalf("DroppedSpans() = %d, want %d", got, extra)
+	}
+	if def := New(1); def.maxSpans != DefaultMaxSpans {
+		t.Fatalf("default span cap = %d, want %d", def.maxSpans, DefaultMaxSpans)
 	}
 }
 
@@ -156,9 +175,14 @@ func TestDisabledHotPathAllocates0(t *testing.T) {
 		c := o.Counters()
 		c.Add(0, CtrEdgesStreamed, 512)
 		c.SetMax(GaugePeakExpanders, 4)
+		c.Observe(0, HistBatchNs, 12345)
 		if c.Total(CtrEdgesStreamed) != 0 || c.Gauge(GaugePeakExpanders) != 0 {
 			t.Fatal("nil counters returned nonzero")
 		}
+		if o.SampleTick() {
+			t.Fatal("nil hub asked for a quality sample")
+		}
+		o.RecordSample(10, 10, 10, 1, 1, 4)
 		o.SetTotalEdges(100)
 		o.SetMeta("k", 32)
 	})
@@ -175,6 +199,7 @@ func TestEnabledCounterAddAllocates0(t *testing.T) {
 		c.Add(2, CtrEdgesStreamed, 4096)
 		c.Add(2, CtrBatches, 1)
 		c.SetMax(GaugePeakBufferBytes, 1<<20)
+		c.Observe(2, HistBatchNs, 1<<17)
 	})
 	if allocs != 0 {
 		t.Fatalf("enabled fold path allocates %.1f per run, want 0", allocs)
@@ -248,9 +273,9 @@ func TestCountersLaneClamp(t *testing.T) {
 	}
 }
 
-// TestCounterNamesStable pins the machine-readable names: every counter and
-// gauge has a unique non-"unknown" snake_case name — renaming one is a
-// trace-schema break that must be deliberate.
+// TestCounterNamesStable pins the machine-readable names: every counter,
+// gauge and histogram has a unique non-"unknown" snake_case name — renaming
+// one is a trace-schema break that must be deliberate.
 func TestCounterNamesStable(t *testing.T) {
 	seen := map[string]bool{}
 	for id := CounterID(0); id < NumCounters; id++ {
@@ -266,5 +291,117 @@ func TestCounterNamesStable(t *testing.T) {
 			t.Errorf("gauge %d has bad or duplicate name %q", g, n)
 		}
 		seen[n] = true
+	}
+	for h := HistID(0); h < NumHists; h++ {
+		n := h.String()
+		if n == "" || n == "unknown" || seen[n] {
+			t.Errorf("histogram %d has bad or duplicate name %q", h, n)
+		}
+		seen[n] = true
+	}
+}
+
+// TestHistogramBuckets pins the log2 bucketing: v ≤ 0 lands in bucket 0,
+// positive values in the bucket of their bit length, sums and lane folds are
+// exact, and out-of-range worker ids clamp like counters do.
+func TestHistogramBuckets(t *testing.T) {
+	c := NewCounters(2)
+	c.Observe(0, HistRegionEdges, 0)      // bucket 0
+	c.Observe(0, HistRegionEdges, -5)     // bucket 0, no sum
+	c.Observe(0, HistRegionEdges, 1)      // bucket 1
+	c.Observe(1, HistRegionEdges, 7)      // bucket 3
+	c.Observe(1, HistRegionEdges, 8)      // bucket 4
+	c.Observe(99, HistRegionEdges, 8)     // clamps to lane 1, bucket 4
+	c.Observe(-1, HistRegionEdges, 1<<40) // clamps to lane 0, bucket 41
+
+	rec := c.HistRecord(HistRegionEdges)
+	if len(rec.Counts) != HistBuckets {
+		t.Fatalf("record has %d buckets, want %d", len(rec.Counts), HistBuckets)
+	}
+	wantBuckets := map[int]int64{0: 2, 1: 1, 3: 1, 4: 2, 41: 1}
+	for b, cnt := range rec.Counts {
+		if cnt != wantBuckets[b] {
+			t.Errorf("bucket %d = %d, want %d", b, cnt, wantBuckets[b])
+		}
+	}
+	if want := int64(1 + 7 + 8 + 8 + 1<<40); rec.Sum != want {
+		t.Errorf("sum = %d, want %d", rec.Sum, want)
+	}
+	if got := c.HistCount(HistRegionEdges); got != 7 {
+		t.Errorf("count = %d, want 7", got)
+	}
+	snap := c.HistSnapshot()
+	if _, ok := snap["region_edges"]; !ok || len(snap) != 1 {
+		t.Errorf("snapshot = %v, want only the observed region_edges", snap)
+	}
+}
+
+// TestQualitySeries pins the sampler: RF/balance/spread derivations, the
+// FIFO ring eviction with chronological Series order, the SampleEvery
+// thinning, and the disabled forms.
+func TestQualitySeries(t *testing.T) {
+	o := fakeObsWith(Options{Workers: 1, SeriesCap: 4})
+	if !o.SampleTick() {
+		t.Fatal("enabled hub refused a sample tick")
+	}
+	o.RecordSample(1000, 1500, 1000, 300, 200, 4)
+	s, ok := o.LatestSample()
+	if !ok {
+		t.Fatal("no latest sample after RecordSample")
+	}
+	if s.RF != 1.5 {
+		t.Errorf("rf = %v, want 1.5", s.RF)
+	}
+	if s.Balance != 1.2 {
+		t.Errorf("balance = %v, want 1.2", s.Balance)
+	}
+	if s.Spread != 0.4 {
+		t.Errorf("spread = %v, want 0.4", s.Spread)
+	}
+	// Overflow the ring: 6 more samples into cap 4 → 3 evicted, the series
+	// keeps the newest 4 in chronological order.
+	for i := 1; i <= 6; i++ {
+		o.RecordSample(int64(1000+i), 1500, 1000, 300, 200, 4)
+	}
+	got := o.Series()
+	if len(got) != 4 {
+		t.Fatalf("series length %d, want 4", len(got))
+	}
+	for i := range got {
+		if i > 0 && got[i].TimeNs <= got[i-1].TimeNs {
+			t.Fatalf("series out of order at %d: %v", i, got)
+		}
+	}
+	if got[3].Edges != 1006 || got[0].Edges != 1003 {
+		t.Errorf("series window = [%d..%d], want [1003..1006]", got[0].Edges, got[3].Edges)
+	}
+	if o.SeriesEvicted() != 3 {
+		t.Errorf("evicted = %d, want 3", o.SeriesEvicted())
+	}
+
+	// Thinning: SampleEvery=3 says yes on every third tick.
+	th := fakeObsWith(Options{Workers: 1, SampleEvery: 3})
+	yes := 0
+	for i := 0; i < 9; i++ {
+		if th.SampleTick() {
+			yes++
+		}
+	}
+	if yes != 3 {
+		t.Errorf("SampleEvery=3: %d ticks sampled out of 9, want 3", yes)
+	}
+
+	// Disabled: negative cap or cadence refuses ticks and records nothing.
+	for _, off := range []*Obs{
+		fakeObsWith(Options{Workers: 1, SeriesCap: -1}),
+		fakeObsWith(Options{Workers: 1, SampleEvery: -1}),
+	} {
+		if off.SampleTick() {
+			t.Error("disabled sampler accepted a tick")
+		}
+		off.RecordSample(10, 10, 10, 1, 1, 4)
+		if off.Series() != nil && len(off.Series()) != 0 {
+			t.Error("disabled sampler recorded a sample")
+		}
 	}
 }

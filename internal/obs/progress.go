@@ -19,6 +19,12 @@ type Progress struct {
 
 	mu      sync.Mutex
 	current string
+	// base/phaseT0 scope the percentage and ETA to the current root phase:
+	// edges_streamed is cumulative across phases (sequential restream passes
+	// each fold the full edge count), so without a per-phase baseline the
+	// percentage overruns 100% and the ETA goes negative on multi-pass runs.
+	base    int64
+	phaseT0 time.Time
 	stop    chan struct{}
 	done    chan struct{}
 }
@@ -71,6 +77,10 @@ func (p *Progress) onSpan(ev SpanEvent) {
 	} else {
 		fmt.Fprintf(p.w, "[hep] %sphase %s\n", indent, ev.Name)
 		p.current = ev.Name
+		if ev.Depth == 0 {
+			p.base = p.o.Counters().Total(CtrEdgesStreamed)
+			p.phaseT0 = time.Now()
+		}
 	}
 	p.mu.Unlock()
 }
@@ -92,6 +102,9 @@ func (p *Progress) loop() {
 
 // report prints the periodic progress line: current phase, streamed edges,
 // throughput, and (when SetTotalEdges gave a denominator) percentage + ETA.
+// Percentage and ETA are scoped to the current root phase — SetTotalEdges
+// declares the per-pass edge volume, and the phase baseline captured at each
+// root-span start subtracts whatever earlier passes already folded.
 func (p *Progress) report(elapsed time.Duration) {
 	streamed := p.o.Counters().Total(CtrEdgesStreamed)
 	if streamed == 0 {
@@ -100,24 +113,33 @@ func (p *Progress) report(elapsed time.Duration) {
 	p.o.mu.Lock()
 	total := p.o.totalEdges
 	p.o.mu.Unlock()
-	rate := float64(streamed) / elapsed.Seconds()
 
 	p.mu.Lock()
 	phase := p.current
 	if phase == "" {
 		phase = "running"
 	}
+	cur := streamed - p.base
+	if cur < 0 {
+		cur = 0
+	}
+	phaseElapsed := elapsed
+	if !p.phaseT0.IsZero() {
+		phaseElapsed = time.Since(p.phaseT0)
+	}
+	rate := float64(cur) / phaseElapsed.Seconds()
+
 	line := fmt.Sprintf("[hep] %s: %s edges", phase, fmtCount(streamed))
 	if total > 0 {
-		pct := 100 * float64(streamed) / float64(total)
+		pct := 100 * float64(cur) / float64(total)
 		if pct > 100 {
-			pct = 100 // restream passes revisit edges; don't promise >100%
+			pct = 100
 		}
 		line += fmt.Sprintf(" (%.0f%%)", pct)
 	}
 	line += fmt.Sprintf("  %s edges/s", fmtCount(int64(rate)))
-	if total > streamed && rate > 0 {
-		eta := time.Duration(float64(total-streamed) / rate * 1e9)
+	if total > cur && rate > 0 {
+		eta := time.Duration(float64(total-cur) / rate * 1e9)
 		line += fmt.Sprintf("  ETA %s", fmtDur(eta.Nanoseconds()))
 	}
 	fmt.Fprintln(p.w, line)

@@ -31,6 +31,48 @@ func TestProgressReporter(t *testing.T) {
 	}
 }
 
+// TestProgressMultiPassNoOverrun pins the multi-pass percentage fix:
+// edges_streamed is cumulative across passes (a 3-pass restream folds 3·m),
+// but the reporter scopes the percentage to the current root phase, so no
+// line may ever read above 100% — the pre-fix reporter printed 200% on pass
+// two and a negative ETA.
+func TestProgressMultiPassNoOverrun(t *testing.T) {
+	o := New(1)
+	var buf bytes.Buffer
+	p := StartProgress(o, &buf, time.Hour) // ticks driven manually via report
+	defer p.Stop()
+	const m = 1000
+	o.SetTotalEdges(m)
+
+	// Pass 1: the full m edges fold, then the pass ends.
+	sp := o.Span("stream-pass-1")
+	o.Counters().Add(0, CtrEdgesStreamed, m)
+	p.report(time.Second)
+	sp.Edges(m).End()
+
+	// Pass 2: the root-span start rebases the phase; half of the pass folds.
+	// Cumulative streamed is now 1.5·m — the pre-fix pct read 150%.
+	sp = o.Span("restream-pass-2")
+	o.Counters().Add(0, CtrEdgesStreamed, m/2)
+	p.report(2 * time.Second)
+	sp.Edges(m).End()
+
+	out := buf.String()
+	if !strings.Contains(out, "(100%)") {
+		t.Errorf("pass 1 line missing 100%%:\n%s", out)
+	}
+	if !strings.Contains(out, "(50%)") {
+		t.Errorf("pass 2 line not rebased to 50%%:\n%s", out)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		for _, frag := range []string{"(101%", "(150%", "(200%", "ETA -"} {
+			if strings.Contains(line, frag) {
+				t.Errorf("progress line overran its pass: %q", line)
+			}
+		}
+	}
+}
+
 // TestProgressNil pins the disabled contract: no Obs, no reporter, and Stop
 // on the nil reporter is safe.
 func TestProgressNil(t *testing.T) {
@@ -105,6 +147,21 @@ func TestServeDebug(t *testing.T) {
 	}
 	if idx := get("/debug/pprof/"); !bytes.Contains(idx, []byte("goroutine")) {
 		t.Error("/debug/pprof/ index missing profiles")
+	}
+	o.Counters().Observe(0, HistBatchNs, 1_000_000)
+	o.RecordSample(100, 150, 90, 20, 10, 8)
+	prom := get("/metrics")
+	for _, want := range []string{
+		"hep_batches_total 7",
+		"hep_spans_dropped 0",
+		"hep_quality_rf ",
+		`hep_batch_latency_ns_bucket{le="+Inf"} 1`,
+		"hep_batch_latency_ns_sum 1000000",
+		"hep_run_info{",
+	} {
+		if !bytes.Contains(prom, []byte(want)) {
+			t.Errorf("/metrics missing %q:\n%s", want, prom)
+		}
 	}
 
 	// Second run in the same process: swap the hub, don't re-publish.

@@ -1,0 +1,32 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"strconv"
+)
+
+// ReproMeta returns the reproducibility metadata stamped into every
+// hep-trace/v1 and hep-bench/v1 report: what toolchain and machine shape
+// produced the numbers, so hep-trace diff/gate comparisons can flag
+// apples-to-oranges baselines. The git revision is included when the binary
+// carries build info (module builds; absent under plain `go test`).
+func ReproMeta() map[string]string {
+	m := map[string]string{
+		"go_version": runtime.Version(),
+		"gomaxprocs": strconv.Itoa(runtime.GOMAXPROCS(0)),
+		"goos":       runtime.GOOS,
+		"goarch":     runtime.GOARCH,
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				m["vcs_revision"] = s.Value
+			case "vcs.modified":
+				m["vcs_modified"] = s.Value
+			}
+		}
+	}
+	return m
+}

@@ -340,7 +340,10 @@ func (b *Buffered) Partition(src graph.EdgeStream, k int) (*part.Result, error) 
 		return nil, err
 	}
 	sp.Edges(m).End()
-	b.Obs.SetTotalEdges(2 * m) // degree pass + partition pass
+	// Per-pass denominator: the progress reporter scopes percentages to the
+	// current root phase, so the degree pass and the partition pass each run
+	// 0→100% over m edges.
+	b.Obs.SetTotalEdges(m)
 	if m > 0 && int64(bufEdges) > m {
 		bufEdges = int(m) // no point sizing the buffer past the graph
 	}
@@ -524,6 +527,10 @@ func (b *Buffered) processBatch(st *batchState, localID []int32, res *part.Resul
 	c.Add(0, obs.CtrParallelBatches, int64(b.LastStats.ParallelBatches-pre.ParallelBatches))
 	c.Add(0, obs.CtrWarmSpills, int64(len(st.buckets.Overflow())))
 	c.SetMax(obs.GaugePeakExpanders, int64(b.LastStats.PeakExpanders))
+	// One quality sample per buffered batch: running RF, balance and load
+	// spread land in the series ring right after the counter fold, on the
+	// same batch boundary — never per edge or per region.
+	res.SampleQuality(b.Obs)
 	return nil
 }
 
@@ -629,7 +636,7 @@ func (b *Buffered) fallbackParallel(st *batchState, res *part.Result, deg []int3
 	b.LastStats.FallbackEdges += int64(len(st.fbEdges))
 	st.fbEngineEdges = int64(len(st.fbEdges))
 	stream.RunHDRFParallelEdges(st.fbEdges, res, deg, lambda, capacity,
-		shard.Options{Workers: b.Workers, BatchEdges: b.BatchEdges, Obs: b.Obs.Counters()})
+		shard.Options{Workers: b.Workers, BatchEdges: b.BatchEdges, Obs: b.Obs.Counters(), Hub: b.Obs})
 	return true
 }
 

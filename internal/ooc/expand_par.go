@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 
+	"hep/internal/obs"
 	"hep/internal/part"
 )
 
@@ -104,6 +105,7 @@ func (b *Buffered) expandParallel(st *batchState, res *part.Result, capacity int
 					return
 				}
 				placed := b.growRegionConcurrent(st, ex, sh, plan, w, p, quota, repeat)
+				b.Obs.Counters().Observe(w, obs.HistRegionEdges, int64(placed))
 				if placed == 0 {
 					plan.release(w, p)
 					return // seeds exhausted: the batch has nothing left to grow

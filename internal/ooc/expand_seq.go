@@ -3,6 +3,7 @@ package ooc
 import (
 	"sort"
 
+	"hep/internal/obs"
 	"hep/internal/part"
 )
 
@@ -35,6 +36,7 @@ func (b *Buffered) expandSequential(st *batchState, res *part.Result, capacity i
 		}
 		b.LastStats.Regions++
 		placed := b.growRegion(st, res, p, int(quota))
+		b.Obs.Counters().Observe(0, obs.HistRegionEdges, int64(placed))
 		remaining -= placed
 		if placed == 0 {
 			break // no admissible seed left for this batch

@@ -56,3 +56,32 @@ func (s *Shared) Finish() {
 	s.obs.Add(0, obs.CtrCASRetries, s.Table.Retries())
 	s.res.Reps = s.Table.Freeze()
 }
+
+// SampleQuality pushes one running-quality sample from the live concurrent
+// state — atomic per-partition vertex counts, the covered-vertex counter and
+// the sharded load bounds — into the hub's series ring. Nil-safe; the
+// SampleTick gate skips the O(k) gather entirely when sampling is off.
+// Called at batch-delivery boundaries, never per edge.
+func (s *Shared) SampleQuality(o *obs.Obs) {
+	if !o.SampleTick() {
+		return
+	}
+	var replicas int64
+	for p := 0; p < s.res.K; p++ {
+		replicas += s.Table.VertexCount(p)
+	}
+	max, min := s.Loads.Bounds()
+	o.RecordSample(s.res.M, replicas, s.Table.Covered(), max, min, s.res.K)
+}
+
+// SampleQuality pushes one running-quality sample from the sequential state
+// (running replica totals, incremental covered count, load tracker bounds).
+// Nil-safe and gated like Shared.SampleQuality; callers invoke it at batch,
+// region or pass boundaries.
+func (r *Result) SampleQuality(o *obs.Obs) {
+	if !o.SampleTick() {
+		return
+	}
+	o.RecordSample(r.M, r.Reps.TotalReplicas(), r.Reps.Covered(),
+		r.Loads.Max(), r.Loads.Min(), r.K)
+}

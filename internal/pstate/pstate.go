@@ -52,6 +52,7 @@ type Table struct {
 	pages [][]uint64
 
 	vcount  []int64  // |V(p_i)|: vertices with bit p set, per partition
+	covered int64    // vertices with ≥1 bit set, maintained in Add
 	scratch []uint64 // reusable candidate mask, ⌈k/64⌉ words
 }
 
@@ -141,8 +142,26 @@ func (t *Table) Add(v graph.V, p int) bool {
 	if *w&b != 0 {
 		return false
 	}
+	if t.empty(v) {
+		t.covered++
+	}
 	*w |= b
 	t.vcount[p]++
+	return true
+}
+
+// empty reports whether vertex v has no replica bit in any mask word.
+func (t *Table) empty(v graph.V) bool {
+	if t.dense[v] != 0 {
+		return false
+	}
+	if t.extra > 0 {
+		for _, w := range t.page(v) {
+			if w != 0 {
+				return false
+			}
+		}
+	}
 	return true
 }
 
@@ -243,6 +262,23 @@ func (t *Table) VertexCounts() []int {
 // VertexCount returns |V(p)| for one partition.
 func (t *Table) VertexCount(p int) int64 { return t.vcount[p] }
 
+// TotalReplicas returns Σ_v |mask(v)| — the running replica total, an O(k)
+// sum of the per-partition vertex counts. Cheap enough for per-batch quality
+// sampling.
+func (t *Table) TotalReplicas() int64 {
+	var total int64
+	for _, c := range t.vcount {
+		total += c
+	}
+	return total
+}
+
+// Covered returns the running number of vertices replicated on at least one
+// partition, maintained incrementally in Add. Together with TotalReplicas it
+// gives an O(k) running replication factor; the exact end-of-run metrics
+// still use the TotalAndCovered scan.
+func (t *Table) Covered() int64 { return t.covered }
+
 // TotalAndCovered returns Σ_v |mask(v)| (total replicas) and the number of
 // vertices replicated on at least one partition — the two quantities the
 // replication factor derives from. One O(n·⌈k/64⌉) scan; a cold-path call.
@@ -328,21 +364,23 @@ func (r *Reader) Candidates(u, v graph.V) []uint64 {
 func (r *Reader) Word(v graph.V, wi int) uint64 { return r.t.Word(v, wi) }
 
 // Release hands over the table's backing arrays — dense words, overflow
-// pages (nil when k ≤ 64), per-partition vertex counts — and resets t to the
-// unusable zero value. The shard layer transplants the arrays into its
-// concurrent AtomicTable and Adopt()s them back after the parallel run, so
-// the conversion never copies a mask word.
-func (t *Table) Release() (dense []uint64, pages [][]uint64, vcount []int64) {
-	dense, pages, vcount = t.dense, t.pages, t.vcount
+// pages (nil when k ≤ 64), per-partition vertex counts — plus the running
+// covered-vertex count, and resets t to the unusable zero value. The shard
+// layer transplants the arrays into its concurrent AtomicTable and Adopt()s
+// them back after the parallel run, so the conversion never copies a mask
+// word.
+func (t *Table) Release() (dense []uint64, pages [][]uint64, vcount []int64, covered int64) {
+	dense, pages, vcount, covered = t.dense, t.pages, t.vcount, t.covered
 	*t = Table{}
-	return dense, pages, vcount
+	return dense, pages, vcount, covered
 }
 
 // Adopt wraps externally built vertex-major state in a Table — the inverse
 // of Release, used by the shard layer to hand a frozen concurrent table back
 // to the sequential world. dense must hold n words, vcount k counts; pages
-// may be nil when every overflow page is unallocated (or k ≤ 64).
-func Adopt(n, k int, dense []uint64, pages [][]uint64, vcount []int64) *Table {
+// may be nil when every overflow page is unallocated (or k ≤ 64); covered is
+// the running covered-vertex count carried across the transplant.
+func Adopt(n, k int, dense []uint64, pages [][]uint64, vcount []int64, covered int64) *Table {
 	if len(dense) != n || len(vcount) != k {
 		panic("pstate: Adopt state does not match n, k")
 	}
@@ -357,6 +395,7 @@ func Adopt(n, k int, dense []uint64, pages [][]uint64, vcount []int64) *Table {
 		dense:   dense,
 		pages:   pages,
 		vcount:  vcount,
+		covered: covered,
 		scratch: make([]uint64, words),
 	}
 	if t.extra > 0 && t.pages == nil {

@@ -346,11 +346,15 @@ func TestReleaseAdoptRoundTrip(t *testing.T) {
 			bits = append(bits, b)
 		}
 		wantCounts := tab.VertexCounts()
-		dense, pages, vcount := tab.Release()
+		wantCovered := tab.Covered()
+		dense, pages, vcount, covered := tab.Release()
 		if tab.N() != 0 {
 			t.Fatalf("released table not reset: n=%d", tab.N())
 		}
-		back := Adopt(800, k, dense, pages, vcount)
+		back := Adopt(800, k, dense, pages, vcount, covered)
+		if back.Covered() != wantCovered {
+			t.Fatalf("k=%d: covered = %d after round trip, want %d", k, back.Covered(), wantCovered)
+		}
 		for _, b := range bits {
 			if !back.Has(b.v, b.p) {
 				t.Fatalf("k=%d: bit (%d,%d) lost in round trip", k, b.v, b.p)
@@ -365,6 +369,33 @@ func TestReleaseAdoptRoundTrip(t *testing.T) {
 		if !back.Has(0, 0) && !back.Add(0, 0) {
 			t.Fatal("adopted table rejected a fresh Add")
 		}
+	}
+}
+
+// TestRunningCoveredMatchesScan pins the incremental Covered/TotalReplicas
+// counters against the exact TotalAndCovered scan, across the dense-only and
+// paged-overflow layouts.
+func TestRunningCoveredMatchesScan(t *testing.T) {
+	for _, k := range []int{3, 64, 200} {
+		rng := rand.New(rand.NewSource(int64(500 + k)))
+		tab := NewTable(600, k)
+		check := func(at string) {
+			total, covered := tab.TotalAndCovered()
+			if tab.Covered() != int64(covered) {
+				t.Fatalf("k=%d %s: running covered = %d, scan says %d", k, at, tab.Covered(), covered)
+			}
+			if tab.TotalReplicas() != total {
+				t.Fatalf("k=%d %s: running total = %d, scan says %d", k, at, tab.TotalReplicas(), total)
+			}
+		}
+		check("empty")
+		for i := 0; i < 4000; i++ {
+			tab.Add(graph.V(rng.Intn(600)), rng.Intn(k))
+			if i%997 == 0 {
+				check("mid")
+			}
+		}
+		check("end")
 	}
 }
 

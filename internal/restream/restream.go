@@ -62,7 +62,7 @@ func (r *Restream) Partition(src graph.EdgeStream, k int) (*part.Result, error) 
 	if alpha == 0 {
 		alpha = 1.05
 	}
-	opts := shard.Options{Workers: r.Workers, BatchEdges: r.BatchEdges, Obs: r.Obs.Counters()}
+	opts := shard.Options{Workers: r.Workers, BatchEdges: r.BatchEdges, Obs: r.Obs.Counters(), Hub: r.Obs}
 	parallel := r.Workers > 1
 
 	// Exact-degree pre-pass; with Workers > 1 it fans out through the same
@@ -80,7 +80,10 @@ func (r *Restream) Partition(src graph.EdgeStream, k int) (*part.Result, error) 
 		return nil, err
 	}
 	sp.Edges(m).End()
-	r.Obs.SetTotalEdges(int64(r.passes()+1) * m) // degree pass + every streaming pass
+	// Per-pass denominator: the progress reporter scopes percentages to the
+	// current root phase, so every pass (degree or streaming) runs 0→100%
+	// over the same m edges instead of sharing one cumulative total.
+	r.Obs.SetTotalEdges(m)
 	n := src.NumVertices()
 
 	// Pass 1: plain streamed HDRF with exact degrees.
@@ -96,6 +99,7 @@ func (r *Restream) Partition(src graph.EdgeStream, k int) (*part.Result, error) 
 		// run needs the one batch-boundary fold here.
 		err = stream.RunHDRF(src, res, deg, lambda, alpha, m)
 		r.Obs.Counters().Add(0, obs.CtrEdgesStreamed, m)
+		res.SampleQuality(r.Obs)
 	}
 	if err != nil {
 		return nil, err
@@ -115,6 +119,7 @@ func (r *Restream) Partition(src graph.EdgeStream, k int) (*part.Result, error) 
 		} else {
 			err = stream.RunHDRFWithState(src, next, prev, deg, lambda, alpha, m)
 			r.Obs.Counters().Add(0, obs.CtrEdgesStreamed, m)
+			next.SampleQuality(r.Obs)
 		}
 		if err != nil {
 			return nil, err

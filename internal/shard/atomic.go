@@ -42,6 +42,11 @@ type Options struct {
 	// Obs is the hot-path counter sink (nil = disabled). The engine folds
 	// batch/edge/stall totals into it at delivery boundaries.
 	Obs *obs.Counters
+	// Hub is the full observability hub (nil = disabled). Runners that own
+	// live quality state (internal/stream, internal/ooc) push RF/balance
+	// samples into its bounded series ring at batch boundaries; the engine
+	// itself only feeds latency/stall histograms through Obs.
+	Hub *obs.Obs
 	// AdaptiveBatch selects capacity-aware adaptive batch sizing: batches
 	// shrink as the most-loaded partition approaches the α capacity bound
 	// (staleness is dangerous near the bound) and grow back toward the
@@ -83,6 +88,7 @@ type AtomicTable struct {
 	pages       []atomic.Pointer[[]uint64]
 	pageMu      sync.Mutex // serializes overflow page allocation
 	vcount      []int64    // |V(p)|, accessed with atomic adds
+	covered     int64      // vertices with ≥1 bit set (atomic; see Covered)
 	retries     int64      // failed CAS attempts in Add (atomic)
 }
 
@@ -97,8 +103,8 @@ func NewAtomicTable(n, k int) *AtomicTable {
 // unusable zero value); Freeze hands them back.
 func FromTable(t *pstate.Table) *AtomicTable {
 	n, k, words := t.N(), t.K(), t.Words()
-	dense, pages, vcount := t.Release()
-	at := &AtomicTable{n: n, k: k, extra: words - 1, dense: dense, vcount: vcount}
+	dense, pages, vcount, covered := t.Release()
+	at := &AtomicTable{n: n, k: k, extra: words - 1, dense: dense, vcount: vcount, covered: covered}
 	if at.extra > 0 {
 		if pages == nil {
 			pages = make([][]uint64, (n+pstate.PageVertices-1)/pstate.PageVertices)
@@ -127,7 +133,7 @@ func (t *AtomicTable) Freeze() *pstate.Table {
 			}
 		}
 	}
-	ft := pstate.Adopt(t.n, t.k, t.dense, pages, t.vcount)
+	ft := pstate.Adopt(t.n, t.k, t.dense, pages, t.vcount, atomic.LoadInt64(&t.covered))
 	*t = AtomicTable{}
 	return ft
 }
@@ -207,6 +213,15 @@ func (t *AtomicTable) Add(v graph.V, p int) bool {
 		}
 		if atomic.CompareAndSwapUint64(w, old, old|b) {
 			atomic.AddInt64(&t.vcount[p], 1)
+			if old == 0 && t.otherWordsZero(v, w) {
+				// The CAS winner observed the word at zero, so for k ≤ 64
+				// (one word per vertex) exactly one adder counts the vertex.
+				// For k > 64 two workers landing first bits in *different*
+				// words of the same vertex can in principle both count — the
+				// running value may overcount by that sliver; final metrics
+				// use the exact TotalAndCovered scan.
+				atomic.AddInt64(&t.covered, 1)
+			}
 			return true
 		}
 		// A lost race: another worker's CAS landed on this mask word first.
@@ -216,6 +231,34 @@ func (t *AtomicTable) Add(v graph.V, p int) bool {
 		atomic.AddInt64(&t.retries, 1)
 	}
 }
+
+// otherWordsZero reports whether every mask word of v other than won holds
+// zero — the "was this vertex uncovered" check behind the covered counter.
+// Trivially true for k ≤ 64, where won is the vertex's only word.
+func (t *AtomicTable) otherWordsZero(v graph.V, won *uint64) bool {
+	if t.extra == 0 {
+		return true
+	}
+	if &t.dense[v] != won && atomic.LoadUint64(&t.dense[v]) != 0 {
+		return false
+	}
+	ov := t.page(v)
+	if ov == nil {
+		return true
+	}
+	for i := range ov {
+		if &ov[i] != won && atomic.LoadUint64(&ov[i]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Covered returns the running number of vertices with at least one replica
+// bit set — the cheap numerator's partner for live replication-factor
+// sampling. Exact for k ≤ 64; may slightly overcount under k > 64 races
+// (see Add).
+func (t *AtomicTable) Covered() int64 { return atomic.LoadInt64(&t.covered) }
 
 // Retries returns the number of failed CAS attempts Add has absorbed — the
 // mask-word contention between placement workers. Read it before Freeze

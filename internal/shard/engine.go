@@ -3,6 +3,7 @@ package shard
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"hep/internal/graph"
 	"hep/internal/obs"
@@ -55,6 +56,9 @@ type job struct {
 	parts []int32
 	buf   []graph.Edge
 	slab  *slabRef
+	// stall is stamped by the collector when the job arrives out of
+	// sequence; its wait in the reorder buffer feeds the stall histogram.
+	stall time.Time
 }
 
 // engine wires the dispatcher, W workers and the collecting caller together.
@@ -64,16 +68,18 @@ type job struct {
 type engine struct {
 	workers  []BatchPlacer
 	maxBatch int
+	c        *obs.Counters // nil = no latency histograms (no clock reads)
 	jobs     chan *job
 	results  chan *job
 	free     chan *job
 }
 
-func newEngine(workers []BatchPlacer, batchEdges int, ownBufs bool) *engine {
+func newEngine(workers []BatchPlacer, batchEdges int, ownBufs bool, c *obs.Counters) *engine {
 	nbuf := 2*len(workers) + 2
 	e := &engine{
 		workers:  workers,
 		maxBatch: batchEdges,
+		c:        c,
 		jobs:     make(chan *job, nbuf),
 		results:  make(chan *job, nbuf),
 		free:     make(chan *job, nbuf),
@@ -90,18 +96,26 @@ func newEngine(workers []BatchPlacer, batchEdges int, ownBufs bool) *engine {
 }
 
 // start launches the worker goroutines and arranges for results to close
-// once every worker has drained the (closed) jobs channel.
+// once every worker has drained the (closed) jobs channel. With counters
+// installed, each worker times its PlaceBatch into the per-worker batch
+// latency histogram — one clock pair per batch, not per edge.
 func (e *engine) start() {
 	var wg sync.WaitGroup
 	wg.Add(len(e.workers))
-	for _, w := range e.workers {
-		go func(w BatchPlacer) {
+	for wi, w := range e.workers {
+		go func(wi int, w BatchPlacer) {
 			defer wg.Done()
 			for j := range e.jobs {
-				w.PlaceBatch(j.edges, j.parts[:len(j.edges)])
+				if e.c != nil {
+					t0 := time.Now()
+					w.PlaceBatch(j.edges, j.parts[:len(j.edges)])
+					e.c.Observe(wi, obs.HistBatchNs, time.Since(t0).Nanoseconds())
+				} else {
+					w.PlaceBatch(j.edges, j.parts[:len(j.edges)])
+				}
 				e.results <- j
 			}
-		}(w)
+		}(wi, w)
 	}
 	go func() {
 		wg.Wait()
@@ -124,6 +138,9 @@ func (e *engine) collect(c *obs.Counters, deliver func(edges []graph.Edge, parts
 	for j := range e.results {
 		if j.seq != next {
 			c.Add(0, obs.CtrReorderStalls, 1)
+			if c != nil {
+				j.stall = time.Now()
+			}
 		}
 		pending[j.seq] = j
 		for {
@@ -132,6 +149,10 @@ func (e *engine) collect(c *obs.Counters, deliver func(edges []graph.Edge, parts
 				break
 			}
 			delete(pending, next)
+			if !jj.stall.IsZero() {
+				c.Observe(0, obs.HistStallNs, time.Since(jj.stall).Nanoseconds())
+				jj.stall = time.Time{}
+			}
 			deliver(jj.edges, jj.parts[:len(jj.edges)])
 			c.Add(0, obs.CtrBatches, 1)
 			c.Add(0, obs.CtrEdgesStreamed, int64(len(jj.edges)))
@@ -205,7 +226,7 @@ func Run(src graph.EdgeStream, workers []BatchPlacer, opts Options, deliver func
 		// batch by batch, preserving the same batch-boundary semantics.
 		return runOne(src, cs, lend, workers[0], maxBatch, opts, deliver)
 	}
-	e := newEngine(workers, maxBatch, !lend)
+	e := newEngine(workers, maxBatch, !lend, opts.Obs)
 	e.start()
 	var serr error
 	go func() {
@@ -290,7 +311,13 @@ func runOne(src graph.EdgeStream, cs graph.ChunkStream, lend bool, w BatchPlacer
 	sizes := newSizeTracker(opts, maxBatch)
 	parts := make([]int32, maxBatch)
 	flush := func(edges []graph.Edge) {
-		w.PlaceBatch(edges, parts[:len(edges)])
+		if c != nil {
+			t0 := time.Now()
+			w.PlaceBatch(edges, parts[:len(edges)])
+			c.Observe(0, obs.HistBatchNs, time.Since(t0).Nanoseconds())
+		} else {
+			w.PlaceBatch(edges, parts[:len(edges)])
+		}
 		deliver(edges, parts[:len(edges)])
 		c.Add(0, obs.CtrBatches, 1)
 		c.Add(0, obs.CtrEdgesStreamed, int64(len(edges)))
@@ -355,7 +382,7 @@ func RunSlice(edges []graph.Edge, workers []BatchPlacer, opts Options, deliver f
 		}
 		return
 	}
-	e := newEngine(workers, batchEdges, false)
+	e := newEngine(workers, batchEdges, false, opts.Obs)
 	e.start()
 	go func() {
 		defer close(e.jobs)

@@ -61,7 +61,7 @@ func (h *HDRF) Partition(src graph.EdgeStream, k int) (*part.Result, error) {
 	capacity := capFor(alpha, src.NumEdges(), k)
 
 	if h.Workers > 1 {
-		opts := shard.Options{Workers: h.Workers, BatchEdges: h.BatchEdges, Obs: h.Obs.Counters()}
+		opts := shard.Options{Workers: h.Workers, BatchEdges: h.BatchEdges, Obs: h.Obs.Counters(), Hub: h.Obs}
 		// The exact-degree pre-pass fans out through the same engine the
 		// placement pass uses; its folded output is bit-identical to
 		// graph.Degrees.
@@ -71,7 +71,9 @@ func (h *HDRF) Partition(src graph.EdgeStream, k int) (*part.Result, error) {
 			return nil, err
 		}
 		sp.Edges(m).End()
-		h.Obs.SetTotalEdges(2 * m) // degree pass + placement pass
+		// Per-pass denominator: the progress reporter scopes percentages to
+		// the current root phase, so each pass runs 0→100% over m edges.
+		h.Obs.SetTotalEdges(m)
 		sp = h.Obs.Span("stream")
 		if err := RunHDRFParallel(src, res, deg, lambda, alpha, m, opts); err != nil {
 			return nil, err
@@ -114,8 +116,10 @@ func (h *HDRF) Partition(src graph.EdgeStream, k int) (*part.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	// The sequential loop stays counter-free per edge; fold the totals once.
+	// The sequential loop stays counter-free per edge; fold the totals once
+	// and take one end-of-stream quality sample.
 	h.Obs.Counters().Add(0, obs.CtrEdgesStreamed, res.M)
+	res.SampleQuality(h.Obs)
 	sp.Edges(res.M).End()
 	return res, nil
 }

@@ -130,6 +130,7 @@ func RunHDRFParallel(src graph.EdgeStream, res *part.Result, deg []int32, lambda
 		for i := range edges {
 			sh.Deliver(edges[i].U, edges[i].V, int(parts[i]))
 		}
+		sh.SampleQuality(opts.Hub)
 	})
 }
 
@@ -156,6 +157,7 @@ func RunHDRFWithStateParallel(src graph.EdgeStream, res, state *part.Result, deg
 		for i := range edges {
 			sh.Deliver(edges[i].U, edges[i].V, int(parts[i]))
 		}
+		sh.SampleQuality(opts.Hub)
 	})
 }
 
@@ -185,5 +187,6 @@ func RunHDRFParallelEdges(edges []graph.Edge, res *part.Result, deg []int32, lam
 		for i := range edges {
 			sh.Deliver(edges[i].U, edges[i].V, int(parts[i]))
 		}
+		sh.SampleQuality(opts.Hub)
 	})
 }

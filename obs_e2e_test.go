@@ -81,7 +81,8 @@ func TestConfigObsEndToEnd(t *testing.T) {
 	}
 }
 
-// TestObsOverheadSmoke prices the enabled instrumentation against the
+// TestObsOverheadSmoke prices the enabled instrumentation — counter lanes,
+// batch-latency histograms AND quality-series sampling — against the
 // disabled (nil) hooks on BenchmarkParallelHDRF's workload and fails if the
 // batch-boundary fold discipline regressed past 3%. Timing-sensitive, so CI
 // opts in via HEP_OBS_OVERHEAD=1 rather than running it on every `go test`.
@@ -97,12 +98,12 @@ func TestObsOverheadSmoke(t *testing.T) {
 	n := g.NumVertices()
 	const k, workers = 32, 4
 
-	run := func(c *obs.Counters) float64 {
+	run := func(o *obs.Obs) float64 {
 		r := testing.Benchmark(func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				res := part.NewResult(n, k)
 				err := stream.RunHDRFParallel(g, res, deg, stream.DefaultLambda, 1.05, m,
-					shard.Options{Workers: workers, Obs: c})
+					shard.Options{Workers: workers, Obs: o.Counters(), Hub: o})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -114,12 +115,12 @@ func TestObsOverheadSmoke(t *testing.T) {
 	// Interleaved min-of-N: the minimum is the least noise-contaminated
 	// estimate of each configuration's true cost on a shared CI box.
 	const rounds = 5
-	base, enabled := run(nil), run(obs.New(workers).Counters()) // warm-up pair
+	base, enabled := run(nil), run(obs.New(workers)) // warm-up pair
 	for i := 0; i < rounds; i++ {
 		if v := run(nil); v < base {
 			base = v
 		}
-		if v := run(obs.New(workers).Counters()); v < enabled {
+		if v := run(obs.New(workers)); v < enabled {
 			enabled = v
 		}
 	}
@@ -127,5 +128,47 @@ func TestObsOverheadSmoke(t *testing.T) {
 	t.Logf("disabled %.0f ns/op, enabled %.0f ns/op, overhead %+.2f%%", base, enabled, 100*overhead)
 	if overhead > 0.03 {
 		t.Errorf("instrumentation overhead %.2f%% exceeds the 3%% budget", 100*overhead)
+	}
+}
+
+// TestBufferedQualitySeries pins the quality time series on the out-of-core
+// path: a Buffered run sized to several batches must emit at least one
+// sample per buffered batch (the per-batch SampleQuality boundary), with
+// running totals that grow monotonically and end at the full edge count.
+func TestBufferedQualitySeries(t *testing.T) {
+	g := Dataset("OK", 0.05)
+	m := g.NumEdges()
+	buffer := int(m / 7) // ≥ 7 batches, plus a final partial flush
+	o := NewObs(1)
+	res, err := Partition(g, Config{
+		Algorithm: AlgoBuffered, K: 8, Buffer: buffer, Workers: 1, Obs: o,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	batches := int((m + int64(buffer) - 1) / int64(buffer))
+	series := o.Series()
+	if len(series) < batches {
+		t.Fatalf("series has %d samples, want ≥ 1 per batch (%d batches)", len(series), batches)
+	}
+	for i, s := range series {
+		if i > 0 && s.Edges < series[i-1].Edges {
+			t.Fatalf("series[%d]: running edge total %d shrank from %d", i, s.Edges, series[i-1].Edges)
+		}
+		if s.RF <= 0 || s.Balance < 1 {
+			t.Fatalf("series[%d]: implausible quality sample %+v", i, s)
+		}
+	}
+	last := series[len(series)-1]
+	if last.Edges != res.M {
+		t.Fatalf("final sample covers %d edges, result placed %d", last.Edges, res.M)
+	}
+	// The incremental covered counter the sample carries must agree with a
+	// full scan of the final replica table.
+	total, covered := res.Reps.TotalAndCovered()
+	if last.Covered != int64(covered) || last.Replicas != total {
+		t.Fatalf("final sample replicas=%d covered=%d, table scan says %d/%d",
+			last.Replicas, last.Covered, total, covered)
 	}
 }
