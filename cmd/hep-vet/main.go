@@ -1,0 +1,82 @@
+// Command hep-vet is the repository's multichecker: it loads the packages
+// named on the command line (with their test variants), type-checks them
+// from source, and runs the internal/lint analyzer suite over each. A
+// finding prints as
+//
+//	file:line:col: message [analyzer]
+//
+// and makes the exit status 1, so `go run ./cmd/hep-vet ./...` is a CI gate.
+//
+// Flags select a subset of the suite (-atomiccompat=false, etc.) and -list
+// prints the suite with docs. Path-scoped analyzers (nolockedblock) only run
+// on the packages they are declared for; the others run everywhere.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"hep/internal/lint"
+)
+
+func main() {
+	analyzers := lint.All()
+	enabled := make(map[string]*bool, len(analyzers))
+	for _, a := range analyzers {
+		enabled[a.Name] = flag.Bool(a.Name, true, "run the "+a.Name+" analyzer")
+	}
+	list := flag.Bool("list", false, "print the analyzer suite and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hep-vet:", err)
+		os.Exit(2)
+	}
+	pkgs, err := lint.Load(wd, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hep-vet:", err)
+		os.Exit(2)
+	}
+
+	var diags []string
+	for _, pkg := range pkgs {
+		scope := pkg.Path
+		if pkg.ForTest != "" {
+			scope = pkg.ForTest
+		}
+		for _, a := range analyzers {
+			if !*enabled[a.Name] || !a.AppliesTo(scope) {
+				continue
+			}
+			a := a
+			pass := lint.NewPass(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info, func(d lint.Diagnostic) {
+				diags = append(diags, fmt.Sprintf("%s: %s [%s]", pkg.Fset.Position(d.Pos), d.Message, a.Name))
+			})
+			if err := a.Run(pass); err != nil {
+				fmt.Fprintf(os.Stderr, "hep-vet: %s: %s: %v\n", a.Name, pkg.Path, err)
+				os.Exit(2)
+			}
+		}
+	}
+	sort.Strings(diags)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,20 @@
+// Package check is the hepcheck invariant shim: runtime assertions for the
+// lock-free core that compile out of release builds entirely.
+//
+// Build without tags and Enabled is the untyped constant false — every
+// `if check.Enabled { ... }` assertion block is dead code the compiler
+// deletes, so the hot paths carry zero cost (the hotalloc analyzer skips
+// these blocks for the same reason). Build with `-tags=hepcheck` and the
+// blocks compile in, turning invariant violations into immediate panics at
+// the point of corruption instead of downstream misbehavior:
+//
+//	if check.Enabled {
+//		check.Assertf(refs >= 0, "slab refcount %d went negative", refs)
+//	}
+//
+// The invariants wired through this shim: slab refcounts never go negative,
+// ShardedLoads fold totals are conserved across a fold window, the reorder
+// buffer delivers every batch exactly once, and a mask transplant conserves
+// the covered count. CI runs `go test -tags=hepcheck` (with -race on the
+// shard and ooc packages) so every assertion executes on every merge.
+package check

@@ -1,0 +1,14 @@
+//go:build !hepcheck
+
+package check
+
+// Enabled gates the hepcheck assertion blocks. As an untyped constant false
+// it makes `if check.Enabled { ... }` dead code the compiler removes.
+const Enabled = false
+
+// Assert panics with msg when cond is false. No-op in untagged builds (and
+// unreachable: call sites are inside `if check.Enabled` blocks).
+func Assert(cond bool, msg string) {}
+
+// Assertf is Assert with a format string.
+func Assertf(cond bool, format string, args ...any) {}

@@ -1,0 +1,18 @@
+//go:build !hepcheck
+
+package check
+
+import "testing"
+
+func TestEnabledOff(t *testing.T) {
+	if Enabled {
+		t.Fatal("release build must set Enabled = false")
+	}
+}
+
+func TestAssertNoOp(t *testing.T) {
+	// Without the tag, assertions are inert even when false — call sites gate
+	// on check.Enabled, so these bodies compile away entirely.
+	Assert(false, "ignored")
+	Assertf(false, "ignored %d", 1)
+}

@@ -1,0 +1,22 @@
+//go:build hepcheck
+
+package check
+
+import "fmt"
+
+// Enabled gates the hepcheck assertion blocks; this build has them live.
+const Enabled = true
+
+// Assert panics with msg when cond is false.
+func Assert(cond bool, msg string) {
+	if !cond {
+		panic("hepcheck: " + msg)
+	}
+}
+
+// Assertf is Assert with a format string.
+func Assertf(cond bool, format string, args ...any) {
+	if !cond {
+		panic("hepcheck: " + fmt.Sprintf(format, args...))
+	}
+}

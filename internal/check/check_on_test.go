@@ -1,0 +1,30 @@
+//go:build hepcheck
+
+package check
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEnabledOn(t *testing.T) {
+	if !Enabled {
+		t.Fatal("hepcheck build must set Enabled = true")
+	}
+}
+
+func TestAssertPasses(t *testing.T) {
+	Assert(true, "unreachable")
+	Assertf(true, "unreachable %d", 1)
+}
+
+func TestAssertPanics(t *testing.T) {
+	defer func() {
+		p := recover()
+		msg, ok := p.(string)
+		if !ok || !strings.HasPrefix(msg, "hepcheck: ") || !strings.Contains(msg, "boom 42") {
+			t.Fatalf("panic %v, want hepcheck-prefixed message", p)
+		}
+	}()
+	Assertf(false, "boom %d", 42)
+}

@@ -36,19 +36,27 @@ func (cl *Claims) Len() int { return len(cl.c) }
 
 // TryClaim claims edge e for owner with one CAS, reporting whether this
 // caller won the edge. owner must be ≥ 0.
+//
+//hep:noalloc
 func (cl *Claims) TryClaim(e int, owner int32) bool {
 	return cl.c[e].CompareAndSwap(0, owner+1)
 }
 
 // Owner returns the owner of edge e, or -1 when it is unclaimed.
+//
+//hep:noalloc
 func (cl *Claims) Owner(e int) int32 { return cl.c[e].Load() - 1 }
 
 // Claimed reports whether edge e has been claimed.
+//
+//hep:noalloc
 func (cl *Claims) Claimed(e int) bool { return cl.c[e].Load() != 0 }
 
 // Assign stores owner for edge e unconditionally — the single-threaded
 // sweep path (leftover edges after the expanders stop). It must not race
 // with TryClaim on the same edge.
+//
+//hep:noalloc
 func (cl *Claims) Assign(e int, owner int32) { cl.c[e].Store(owner + 1) }
 
 // Bytes returns the backing allocation (4 bytes per covered edge).

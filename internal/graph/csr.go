@@ -121,6 +121,7 @@ func BuildCSR(src EdgeStream, tau float64, store H2HStore) (*CSR, error) {
 	c := AssembleCSR(n, m, tau, outDeg, inDeg, deg, store)
 
 	// Second pass: fill segments; outSize/inSize double as fill cursors.
+	//hep:unsync sequential builder: single-goroutine fill, the atomic Claim* cursors are for the parallel build only
 	err = src.Edges(func(u, v V) bool {
 		uh, vh := c.high.Has(u), c.high.Has(v)
 		if uh && vh {
@@ -262,6 +263,8 @@ func (c *CSR) HighSet() *bitset.Set { return c.high }
 
 // Out returns the valid out-list of v as a mutable slice view. Entry i is
 // the right-hand endpoint of an edge (v, Out(v)[i]) in input orientation.
+//
+//hep:unsync read phase: fill cursors are final once the (parallel) build returns
 func (c *CSR) Out(v V) []V {
 	s := c.outIdx[v]
 	return c.col[s : s+int64(c.outSize[v])]
@@ -269,6 +272,8 @@ func (c *CSR) Out(v V) []V {
 
 // In returns the valid in-list of v. Entry i is the left-hand endpoint of an
 // edge (In(v)[i], v) in input orientation.
+//
+//hep:unsync read phase: fill cursors are final once the (parallel) build returns
 func (c *CSR) In(v V) []V {
 	s := c.inIdx[v]
 	return c.col[s : s+int64(c.inSize[v])]
@@ -277,10 +282,14 @@ func (c *CSR) In(v V) []V {
 // ValidDegree returns the number of valid (not yet removed) entries in v's
 // lists. For a vertex outside the core set at a partition boundary this is
 // exactly its number of unassigned edges (see DESIGN.md).
+//
+//hep:unsync read phase: fill cursors are final once the (parallel) build returns
 func (c *CSR) ValidDegree(v V) int32 { return c.outSize[v] + c.inSize[v] }
 
 // RemoveOutAt removes entry i of v's out-list by swapping in the last valid
 // entry and shrinking the size field — the constant-time removal of §3.2.2.
+//
+//hep:unsync partition phase: single-owner mutation after the build, no Claim* in flight
 func (c *CSR) RemoveOutAt(v V, i int32) {
 	s := c.outIdx[v]
 	last := c.outSize[v] - 1
@@ -289,6 +298,8 @@ func (c *CSR) RemoveOutAt(v V, i int32) {
 }
 
 // RemoveInAt removes entry i of v's in-list, like RemoveOutAt.
+//
+//hep:unsync partition phase: single-owner mutation after the build, no Claim* in flight
 func (c *CSR) RemoveInAt(v V, i int32) {
 	s := c.inIdx[v]
 	last := c.inSize[v] - 1
@@ -298,9 +309,13 @@ func (c *CSR) RemoveInAt(v V, i int32) {
 
 // OutSpan returns the column-array offset and valid length of v's out
 // segment (used by the paging simulator's access trace).
+//
+//hep:unsync read phase: fill cursors are final once the (parallel) build returns
 func (c *CSR) OutSpan(v V) (offset int64, n int32) { return c.outIdx[v], c.outSize[v] }
 
 // InSpan returns the column-array offset and valid length of v's in segment.
+//
+//hep:unsync read phase: fill cursors are final once the (parallel) build returns
 func (c *CSR) InSpan(v V) (offset int64, n int32) { return c.inIdx[v], c.inSize[v] }
 
 // ColLen returns the length of the column array (total allocated entries).

@@ -1,0 +1,12 @@
+package lint
+
+// All returns the full analyzer suite, in the order hep-vet runs it.
+func All() []*Analyzer {
+	return []*Analyzer{
+		AtomicCompat,
+		HotAlloc,
+		SlabRelease,
+		CounterNames,
+		NoLockedBlock,
+	}
+}

@@ -1,0 +1,232 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AtomicCompat flags plain (non-atomic) reads and writes of struct fields
+// and package-level variables that are accessed through sync/atomic anywhere
+// in the same package. Mixing the two access modes is a data race the memory
+// model gives no meaning to — a field is either always atomic or never.
+//
+// The rules, matched to how the lock-free core is written:
+//
+//   - A field is "atomic" when its address (or the address of one of its
+//     elements, for slice/array fields: &t.dense[v]) is passed to a
+//     sync/atomic Load/Store/Add/Swap/CompareAndSwap function. Fields of the
+//     typed atomic.{Int32,Int64,Uint64,Bool,Pointer} forms need no analyzer
+//     — the type system already forbids plain access.
+//   - A plain read or write of such a field (or of its elements) is a
+//     finding. Taking its address is not, by itself: pointer provenance is
+//     not tracked, and the addresses the core takes flow into atomic calls.
+//   - For slice-valued fields, len/cap and re-slicing touch only the slice
+//     header and are exempt; passing the whole slice away as a value is a
+//     finding (it hands out the backing array for plain access).
+//   - Composite-literal construction is exempt: a table under construction
+//     has not been published yet.
+//
+// Documented single-owner phases — Freeze/Adopt-style transplants that run
+// after every worker has stopped — are escaped with //hep:unsync and a
+// one-line justification, on the access line or the enclosing function.
+var AtomicCompat = &Analyzer{
+	Name: "atomiccompat",
+	Doc:  "atomic fields must never be read or written plainly (escape: //hep:unsync <why>)",
+	Run:  runAtomicCompat,
+}
+
+// atomicFns are the sync/atomic functions whose first argument is the
+// address of the word being operated on.
+func isAtomicFn(name string) bool {
+	for _, prefix := range []string{"Load", "Store", "Add", "Swap", "CompareAndSwap", "And", "Or"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+func runAtomicCompat(p *Pass) error {
+	// Pass 1: collect the fields/vars accessed via sync/atomic, remembering
+	// one representative position for the diagnostic text.
+	marked := make(map[types.Object]token.Pos)
+	p.WalkParents(func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !isAtomicFn(sel.Sel.Name) || !isPkgSel(p.Info, sel, "sync/atomic") {
+			return true
+		}
+		for _, arg := range call.Args {
+			un, ok := arg.(*ast.UnaryExpr)
+			if !ok || un.Op != token.AND {
+				continue
+			}
+			if obj := p.baseFieldObj(un.X); obj != nil {
+				if _, seen := marked[obj]; !seen {
+					marked[obj] = un.Pos()
+				}
+			}
+		}
+		return true
+	})
+	if len(marked) == 0 {
+		return nil
+	}
+
+	// Pass 2: flag plain accesses of the marked objects.
+	p.WalkParents(func(n ast.Node, stack []ast.Node) bool {
+		var obj types.Object
+		switch e := n.(type) {
+		case *ast.SelectorExpr:
+			obj = p.Info.Uses[e.Sel]
+		case *ast.Ident:
+			// Package-level vars used bare (within their own package).
+			if o := p.Info.Uses[e]; o != nil {
+				if v, ok := o.(*types.Var); ok && !v.IsField() && v.Parent() == p.Pkg.Scope() {
+					obj = o
+				}
+			}
+		default:
+			return true
+		}
+		if obj == nil {
+			return false // still descend into X of the selector
+		}
+		if _, isMarked := marked[obj]; !isMarked {
+			return true
+		}
+		if p.plainAccessExempt(n, stack, obj) {
+			return true
+		}
+		if a, ok := p.AnnotationAt(n.Pos(), "unsync"); ok {
+			if a.Why == "" {
+				p.Reportf(a.Pos, "//hep:unsync needs a one-line justification")
+			}
+			return true
+		}
+		if fn := EnclosingFunc(stack); fn != nil {
+			if a, ok := p.FuncAnnotation(fn, "unsync"); ok {
+				if a.Why == "" {
+					p.Reportf(a.Pos, "//hep:unsync needs a one-line justification")
+				}
+				return true
+			}
+			if top := TopLevelFunc(stack); top != nil && top != fn {
+				if a, ok := p.FuncAnnotation(top, "unsync"); ok {
+					if a.Why == "" {
+						p.Reportf(a.Pos, "//hep:unsync needs a one-line justification")
+					}
+					return true
+				}
+			}
+		}
+		p.Reportf(n.Pos(), "plain access of %s, which is accessed with sync/atomic at %s (annotate single-owner phases with //hep:unsync <why>)",
+			obj.Name(), p.Fset.Position(marked[obj]))
+		return true
+	})
+	return nil
+}
+
+// baseFieldObj resolves the struct field or package-level var an lvalue
+// expression ultimately denotes: t.covered → covered, t.dense[v] → dense,
+// globalWord → globalWord. Returns nil for locals and everything else.
+func (p *Pass) baseFieldObj(e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			if obj := p.Info.Uses[x.Sel]; obj != nil {
+				if v, ok := obj.(*types.Var); ok && v.IsField() {
+					return obj
+				}
+			}
+			return nil
+		case *ast.Ident:
+			if obj := p.Info.Uses[x]; obj != nil {
+				if v, ok := obj.(*types.Var); ok && !v.IsField() && v.Parent() == p.Pkg.Scope() {
+					return obj
+				}
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+// plainAccessExempt reports whether this occurrence of a marked object is
+// one of the allowed shapes: operand of &, argument of len/cap, a slice
+// header re-slice, or itself part of a sync/atomic call argument.
+func (p *Pass) plainAccessExempt(n ast.Node, stack []ast.Node, obj types.Object) bool {
+	// Walk outward through the wrappers that keep the access "the same
+	// object": parens and (for slice/array fields) index/slice expressions.
+	cur := n.(ast.Expr)
+	sliceVal := isSliceOrArray(p.Info.Types[cur].Type)
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch parent := stack[i].(type) {
+		case *ast.ParenExpr:
+			cur = parent
+			continue
+		case *ast.IndexExpr:
+			if parent.X != cur {
+				return false // used as an index: a plain read
+			}
+			// Reading an element of a marked slice: not exempt unless the
+			// element address is then taken (next loop iteration sees &).
+			cur = parent
+			sliceVal = false
+			continue
+		case *ast.SliceExpr:
+			if parent.X != cur || !sliceVal {
+				return false
+			}
+			cur = parent // re-slicing the header
+			continue
+		case *ast.UnaryExpr:
+			if parent.Op == token.AND && parent.X == cur {
+				return true // address-taking; provenance not tracked further
+			}
+			return false
+		case *ast.CallExpr:
+			// len(x) / cap(x) touch only the header.
+			if id, ok := parent.Fun.(*ast.Ident); ok && sliceVal {
+				if b, isB := p.Info.Uses[id].(*types.Builtin); isB && (b.Name() == "len" || b.Name() == "cap") {
+					return true
+				}
+			}
+			return false
+		case *ast.SelectorExpr:
+			// cur is the X of an outer selector (t.dense is X of
+			// t.dense[v]... handled above; here: method call base etc.).
+			if parent.X == cur {
+				return false
+			}
+			return false
+		case *ast.RangeStmt:
+			// for range over a marked slice reads elements plainly.
+			return false
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+func isSliceOrArray(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch types.Unalias(t).(type) {
+	case *types.Slice, *types.Array:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"hep/internal/obs"
+)
+
+// CounterNames checks that every metric name written as a string literal at
+// a call or index site exists in the exported obs registry (obs.CounterNames
+// / GaugeNames / HistogramNames). The registry is the single source of truth
+// that keeps code, the /metrics exposition, ValidateReport and the golden
+// trace in lockstep; a typo in a test assertion like
+//
+//	rep.Counters["edges_streemed"]
+//
+// silently compares against zero forever — this analyzer turns it into a
+// build-time finding.
+//
+// Recognized sites, matched structurally so fixtures need no obs import:
+//
+//   - indexing a field or call result named Counters / CounterSnapshot with
+//     a constant string → must be a declared counter name
+//   - likewise Gauges / GaugeSnapshot → gauge names
+//   - likewise Histograms / HistSnapshot, or indexing any value of type
+//     map[string]HistogramRecord → histogram names
+//
+// Tests that deliberately inject unknown names (e.g. exercising
+// ValidateReport's rejection path) escape with //hep:anyname <why>.
+var CounterNames = &Analyzer{
+	Name: "counternames",
+	Doc:  "metric-name literals must exist in the obs registry (escape: //hep:anyname <why>)",
+	Run:  runCounterNames,
+}
+
+var (
+	knownCounters   = toSet(obs.CounterNames())
+	knownGauges     = toSet(obs.GaugeNames())
+	knownHistograms = toSet(obs.HistogramNames())
+)
+
+func toSet(names []string) map[string]bool {
+	m := make(map[string]bool, len(names))
+	for _, n := range names {
+		m[n] = true
+	}
+	return m
+}
+
+func runCounterNames(p *Pass) error {
+	p.WalkParents(func(n ast.Node, stack []ast.Node) bool {
+		ix, ok := n.(*ast.IndexExpr)
+		if !ok {
+			return true
+		}
+		key, ok := constString(p.Info, ix.Index)
+		if !ok {
+			return true
+		}
+		kind, registry := metricRegistry(p.Info, ix.X)
+		if registry == nil || registry[key] {
+			return true
+		}
+		if a, ok := p.AnnotationAt(ix.Index.Pos(), "anyname"); ok {
+			if a.Why == "" {
+				p.Reportf(a.Pos, "//hep:anyname needs a one-line justification")
+			}
+			return true
+		}
+		p.Reportf(ix.Index.Pos(), "%q is not a declared %s name in the obs registry (escape: //hep:anyname <why>)", key, kind)
+		return true
+	})
+	return nil
+}
+
+// constString returns the constant string value of e, if it has one.
+func constString(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// metricRegistry classifies the indexed expression: which registry governs
+// the names its string keys may use, if any.
+func metricRegistry(info *types.Info, x ast.Expr) (string, map[string]bool) {
+	// Type-based: any map[string]HistogramRecord is a histogram snapshot,
+	// whatever variable it travelled through.
+	if t := info.Types[x].Type; t != nil {
+		if m, ok := types.Unalias(t).Underlying().(*types.Map); ok {
+			if el := namedType(m.Elem()); el != nil && el.Obj().Name() == "HistogramRecord" {
+				return "histogram", knownHistograms
+			}
+		}
+	}
+	// Structural: the conventional field / snapshot-method names.
+	var name string
+	switch e := x.(type) {
+	case *ast.SelectorExpr:
+		name = e.Sel.Name
+	case *ast.CallExpr:
+		if sel, ok := e.Fun.(*ast.SelectorExpr); ok {
+			name = sel.Sel.Name
+		}
+	default:
+		return "", nil
+	}
+	switch name {
+	case "Counters", "CounterSnapshot":
+		return "counter", knownCounters
+	case "Gauges", "GaugeSnapshot":
+		return "gauge", knownGauges
+	case "Histograms", "HistSnapshot":
+		return "histogram", knownHistograms
+	}
+	return "", nil
+}

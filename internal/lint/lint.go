@@ -1,0 +1,289 @@
+// Package lint is the repository's custom static-analysis suite: a small,
+// stdlib-only framework in the shape of golang.org/x/tools/go/analysis (an
+// Analyzer runs over one type-checked package at a time and reports
+// position-anchored diagnostics) plus the five repo-specific analyzers the
+// lock-free core is checked with:
+//
+//   - atomiccompat: a field accessed through sync/atomic anywhere must never
+//     be read or written plainly elsewhere in the package.
+//   - hotalloc: //hep:noalloc-annotated functions must contain no allocating
+//     constructs.
+//   - slabrelease: every lent chunk acquired from a graph.ChunkStream yield
+//     must reach its release on all control-flow paths.
+//   - counternames: metric-name string literals at call sites must exist in
+//     the exported obs registry.
+//   - nolockedblock: no channel operation, Wait or I/O while holding a
+//     mutex in the lock-free core packages.
+//
+// Escapes are explicit source annotations with a required justification,
+// written as comments on the offending line, the line above it, or the doc
+// comment of the enclosing function:
+//
+//	//hep:unsync <why>       single-owner phase: plain access to an atomic field is safe here
+//	//hep:noalloc            this function must stay allocation-free (hotalloc checks it)
+//	//hep:xfer <why>         slab release obligation is transferred/accounted elsewhere
+//	//hep:blocking-ok <why>  this potentially blocking call under a lock is intended
+//	//hep:anyname <why>      this metric-name literal is deliberately outside the registry
+//
+// The framework is intentionally minimal: the driver (cmd/hep-vet) loads and
+// type-checks packages with the module-aware `go list` loader in load.go; the
+// fixture harness (linttest) type-checks testdata packages directly and
+// matches diagnostics against analysistest-style `// want "regexp"` comments.
+// golang.org/x/tools is deliberately not imported — the build must work from
+// a bare module cache.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check, in the shape of
+// golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and CLI flags.
+	Name string
+	// Doc is a one-paragraph description.
+	Doc string
+	// PathPrefixes, when non-empty, restricts the analyzer to packages whose
+	// import path matches one of the prefixes (the driver applies it; the
+	// fixture harness does not, so fixtures always exercise the analyzer).
+	PathPrefixes []string
+	// Run performs the analysis on one package.
+	Run func(*Pass) error
+}
+
+// AppliesTo reports whether the analyzer's path filter admits pkgPath.
+func (a *Analyzer) AppliesTo(pkgPath string) bool {
+	if len(a.PathPrefixes) == 0 {
+		return true
+	}
+	for _, p := range a.PathPrefixes {
+		if pkgPath == p || strings.HasPrefix(pkgPath, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Pass carries one analyzer run over one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	Report   func(Diagnostic)
+
+	// ann maps file name → source line → annotations declared on that line.
+	ann map[string]map[int][]Annotation
+}
+
+// Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Annotation is one parsed //hep:<key> comment.
+type Annotation struct {
+	// Key is the annotation kind: "unsync", "noalloc", "xfer",
+	// "blocking-ok", "anyname".
+	Key string
+	// Why is the justification text after the key (may be empty; the
+	// analyzers that require one report its absence).
+	Why string
+	// Pos is the comment's position.
+	Pos token.Pos
+}
+
+// NewPass assembles a pass over a type-checked package, parsing its //hep:
+// annotations. report receives every diagnostic.
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, report func(Diagnostic)) *Pass {
+	p := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, Info: info, Report: report}
+	p.ann = make(map[string]map[int][]Annotation)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				ann, ok := parseAnnotation(c.Text)
+				if !ok {
+					continue
+				}
+				ann.Pos = c.Pos()
+				pos := fset.Position(c.Pos())
+				byLine := p.ann[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int][]Annotation)
+					p.ann[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], *ann)
+			}
+		}
+	}
+	return p
+}
+
+// parseAnnotation parses a comment's text as a //hep: annotation.
+func parseAnnotation(text string) (*Annotation, bool) {
+	body, ok := strings.CutPrefix(text, "//")
+	if !ok {
+		return nil, false
+	}
+	body = strings.TrimSpace(body)
+	body, ok = strings.CutPrefix(body, "hep:")
+	if !ok {
+		return nil, false
+	}
+	key, why, _ := strings.Cut(body, " ")
+	if key == "" {
+		return nil, false
+	}
+	return &Annotation{Key: key, Why: strings.TrimSpace(why)}, true
+}
+
+// AnnotationAt returns the annotation with the given key declared on the
+// line of pos or on the line immediately above it.
+func (p *Pass) AnnotationAt(pos token.Pos, key string) (Annotation, bool) {
+	at := p.Fset.Position(pos)
+	byLine := p.ann[at.Filename]
+	if byLine == nil {
+		return Annotation{}, false
+	}
+	for _, line := range []int{at.Line, at.Line - 1} {
+		for _, a := range byLine[line] {
+			if a.Key == key {
+				return a, true
+			}
+		}
+	}
+	return Annotation{}, false
+}
+
+// FuncAnnotation returns the annotation with the given key on a function:
+// in the doc comment of a FuncDecl, or (for both FuncDecl and FuncLit) on
+// the function's first line or the line above it.
+func (p *Pass) FuncAnnotation(fn ast.Node, key string) (Annotation, bool) {
+	if d, ok := fn.(*ast.FuncDecl); ok && d.Doc != nil {
+		for _, c := range d.Doc.List {
+			if a, ok := parseAnnotation(c.Text); ok && a.Key == key {
+				a.Pos = c.Pos()
+				return *a, true
+			}
+		}
+	}
+	return p.AnnotationAt(fn.Pos(), key)
+}
+
+// Annotations returns every annotation in the package with the given key,
+// in file/line order — used by hygiene checks (e.g. flagging escapes with a
+// missing justification).
+func (p *Pass) Annotations(key string) []Annotation {
+	var out []Annotation
+	for _, byLine := range p.ann {
+		for _, list := range byLine {
+			for _, a := range list {
+				if a.Key == key {
+					out = append(out, a)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out
+}
+
+// WalkParents traverses every file of the pass in syntax order, calling fn
+// with each node and the stack of its ancestors (outermost first, not
+// including n itself). Returning false prunes the subtree.
+func (p *Pass) WalkParents(fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			if !fn(n, stack) {
+				return false
+			}
+			stack = append(stack, n)
+			return true
+		})
+	}
+}
+
+// EnclosingFunc returns the innermost function (FuncDecl or FuncLit) in the
+// ancestor stack, or nil.
+func EnclosingFunc(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return stack[i]
+		}
+	}
+	return nil
+}
+
+// TopLevelFunc returns the outermost enclosing FuncDecl in the stack, or nil
+// — annotations on a declaration cover the function literals inside it.
+func TopLevelFunc(stack []ast.Node) *ast.FuncDecl {
+	for _, n := range stack {
+		if d, ok := n.(*ast.FuncDecl); ok {
+			return d
+		}
+	}
+	return nil
+}
+
+// isPkgFunc reports whether call's callee is the named function of the named
+// package (e.g. "sync/atomic", "LoadUint64").
+func isPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	return isPkgSel(info, sel, pkgPath)
+}
+
+// isPkgSel reports whether sel selects from the package with the given path.
+func isPkgSel(info *types.Info, sel *ast.SelectorExpr, pkgPath string) bool {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == pkgPath
+}
+
+// namedType returns the named type of t after unwrapping pointers and
+// aliases, or nil.
+func namedType(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// isNamed reports whether t (possibly behind a pointer) is the named type
+// pkgPath.name.
+func isNamed(t types.Type, pkgPath, name string) bool {
+	n := namedType(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == pkgPath && n.Obj().Name() == name
+}

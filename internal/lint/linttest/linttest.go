@@ -1,0 +1,113 @@
+// Package linttest is the fixture harness for the internal/lint analyzers —
+// the stdlib analogue of analysistest from golang.org/x/tools. A fixture is
+// one directory of Go files (conventionally internal/lint/testdata/<name>)
+// type-checked as a single package with stdlib-only imports; every expected
+// diagnostic is declared inline with an analysistest-style expectation
+// comment on the line it anchors to:
+//
+//	return t.word // want `plain access of word`
+//
+// A line may carry several expectations (`// want "a" "b"`), each a regexp
+// in double quotes or backquotes. Run fails the test when a diagnostic has
+// no matching expectation on its line, or an expectation goes unmatched —
+// so fixtures prove both that an analyzer fires and that its annotation
+// escapes suppress it.
+package linttest
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+	"testing"
+
+	"hep/internal/lint"
+)
+
+// wantRe extracts the quoted regexps of one expectation comment.
+var wantRe = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run type-checks the fixture package in dir, runs analyzer a over it, and
+// matches the diagnostics against the fixture's want comments.
+func Run(t *testing.T, a *lint.Analyzer, dir string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	files, pkg, info, err := lint.TypeCheckDir(fset, dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+
+	wants := make(map[string]map[int][]*expectation) // file → line → expectations
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				collectWants(t, fset, c, wants)
+			}
+		}
+	}
+
+	var diags []lint.Diagnostic
+	pass := lint.NewPass(a, fset, files, pkg, info, func(d lint.Diagnostic) {
+		diags = append(diags, d)
+	})
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		var hit bool
+		for _, e := range wants[pos.Filename][pos.Line] {
+			if e.re.MatchString(d.Message) {
+				e.matched = true
+				hit = true
+			}
+		}
+		if !hit {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for file, byLine := range wants {
+		for line, es := range byLine {
+			for _, e := range es {
+				if !e.matched {
+					t.Errorf("%s:%d: expected diagnostic matching %q, got none", file, line, e.re)
+				}
+			}
+		}
+	}
+}
+
+func collectWants(t *testing.T, fset *token.FileSet, c *ast.Comment, wants map[string]map[int][]*expectation) {
+	t.Helper()
+	body, ok := strings.CutPrefix(c.Text, "//")
+	if !ok {
+		return
+	}
+	body, ok = strings.CutPrefix(strings.TrimSpace(body), "want ")
+	if !ok {
+		return
+	}
+	pos := fset.Position(c.Pos())
+	for _, m := range wantRe.FindAllStringSubmatch(body, -1) {
+		pat := m[1]
+		if m[2] != "" {
+			pat = m[2]
+		}
+		re, err := regexp.Compile(pat)
+		if err != nil {
+			t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+		}
+		byLine := wants[pos.Filename]
+		if byLine == nil {
+			byLine = make(map[int][]*expectation)
+			wants[pos.Filename] = byLine
+		}
+		byLine[pos.Line] = append(byLine[pos.Line], &expectation{re: re})
+	}
+}

@@ -1,0 +1,243 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	// Path is the import path (test variants carry go list's
+	// "pkg [pkg.test]" form; ForTest holds the base path then).
+	Path    string
+	ForTest string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Standard   bool
+	ForTest    string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Load lists, parses and type-checks the packages matching patterns (plus
+// their in-package and external test variants) in dir, resolving the full
+// dependency closure from source via `go list -deps`. It needs no network
+// and no pre-built export data: stdlib dependencies type-check from GOROOT
+// source, which is what makes the driver work from a bare module cache.
+//
+// The returned slice holds only the packages matching the patterns (not
+// their dependencies), in deterministic path order. When a package has an
+// in-package test variant, only the variant is returned — its file set is a
+// superset of the base package's, so analyzing both would double-report.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	// CGO_ENABLED=0 keeps every listed file set pure Go, so the dependency
+	// closure (net, os/user, ...) type-checks without a C toolchain.
+	env := append(os.Environ(), "CGO_ENABLED=0")
+
+	args := append([]string{"list", "-e", "-test", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = env
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+
+	pkgs := make(map[string]*listPkg)
+	var order []string
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		pkgs[p.ImportPath] = &p
+		order = append(order, p.ImportPath)
+	}
+
+	ld := &loader{
+		fset:   token.NewFileSet(),
+		pkgs:   pkgs,
+		types:  map[string]*types.Package{"unsafe": types.Unsafe},
+		parsed: make(map[string]*parsed),
+	}
+
+	// Roots = pattern matches (not DepOnly), skipping generated ".test"
+	// mains and base packages shadowed by their in-package test variant.
+	variantOf := make(map[string]bool)
+	for _, path := range order {
+		if p := pkgs[path]; p.ForTest != "" && p.Name != "main" && !strings.HasSuffix(p.Name, "_test") {
+			variantOf[p.ForTest] = true
+		}
+	}
+	var roots []string
+	for _, path := range order {
+		p := pkgs[path]
+		if p.DepOnly || p.Name == "main" && strings.HasSuffix(p.ImportPath, ".test") {
+			continue
+		}
+		if p.ForTest == "" && variantOf[p.ImportPath] {
+			continue
+		}
+		roots = append(roots, path)
+	}
+	sort.Strings(roots)
+
+	var out2 []*Package
+	for _, path := range roots {
+		tp, err := ld.typeCheck(path)
+		if err != nil {
+			return nil, err
+		}
+		pr := ld.parsed[path]
+		out2 = append(out2, &Package{
+			Path:    path,
+			ForTest: pkgs[path].ForTest,
+			Dir:     pkgs[path].Dir,
+			Fset:    ld.fset,
+			Files:   pr.files,
+			Types:   tp,
+			Info:    pr.info,
+		})
+	}
+	return out2, nil
+}
+
+// parsed holds one package's syntax and type information.
+type parsed struct {
+	files []*ast.File
+	info  *types.Info
+}
+
+// loader type-checks a go list dependency closure from source, memoized by
+// import path.
+type loader struct {
+	fset   *token.FileSet
+	pkgs   map[string]*listPkg
+	types  map[string]*types.Package
+	parsed map[string]*parsed
+}
+
+// pkgImporter resolves one package's imports through its ImportMap (which
+// carries vendoring and test-variant redirections).
+type pkgImporter struct {
+	ld *loader
+	p  *listPkg
+}
+
+func (pi *pkgImporter) Import(path string) (*types.Package, error) {
+	if resolved, ok := pi.p.ImportMap[path]; ok {
+		path = resolved
+	}
+	return pi.ld.typeCheck(path)
+}
+
+func (ld *loader) typeCheck(path string) (*types.Package, error) {
+	if tp, ok := ld.types[path]; ok {
+		return tp, nil
+	}
+	lp, ok := ld.pkgs[path]
+	if !ok {
+		return nil, fmt.Errorf("lint: package %q not in go list closure", path)
+	}
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(ld.fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := newInfo()
+	conf := types.Config{
+		Importer: &pkgImporter{ld: ld, p: lp},
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	tp, err := conf.Check(strings.TrimSuffix(path, " ["+lp.ForTest+".test]"), ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", path, err)
+	}
+	ld.types[path] = tp
+	ld.parsed[path] = &parsed{files: files, info: info}
+	return tp, nil
+}
+
+// newInfo returns a types.Info with every map the analyzers consult.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+// TypeCheckDir parses and type-checks a single directory of Go files as one
+// package, resolving imports (stdlib only) from source. It is the fixture
+// harness's loader: testdata packages are outside the module, so `go list`
+// cannot see them.
+func TypeCheckDir(fset *token.FileSet, dir string) ([]*ast.File, *types.Package, *types.Info, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil, nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	info := newInfo()
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "source", nil),
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	pkg, err := conf.Check(files[0].Name.Name, fset, files, info)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("lint: type-checking %s: %v", dir, err)
+	}
+	return files, pkg, info, nil
+}

@@ -1,0 +1,237 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// NoLockedBlock flags potentially blocking operations performed while a
+// sync.Mutex / sync.RWMutex is held: channel sends and receives, select,
+// range-over-channel, sync Wait calls, and I/O (fmt.Fprint*/Print*, log,
+// os file operations, io/bufio writes). A lock in the hot packages guards a
+// few words of shared state for nanoseconds; blocking inside it turns every
+// other worker's fast path into a convoy behind a syscall or an unbuffered
+// channel.
+//
+// Lock regions are tracked per block, statement-linearly: `mu.Lock()` opens
+// a region that ends at the matching `mu.Unlock()` in the same block, or at
+// the end of the function when the unlock is deferred. Function literals
+// created inside a region are NOT scanned — their execution time is
+// unrelated to the lock (the obs notify pattern: build the callback list
+// under the lock, invoke after unlock). Deferred calls other than Unlock are
+// skipped for the same reason.
+//
+// The driver restricts this analyzer to internal/shard, internal/ooc and
+// internal/obs (the packages with nanosecond-scale lock discipline);
+// deliberate blocking elsewhere escapes with //hep:blocking-ok <why>.
+var NoLockedBlock = &Analyzer{
+	Name:         "nolockedblock",
+	Doc:          "no channel ops, Wait or I/O while holding a mutex (escape: //hep:blocking-ok <why>)",
+	PathPrefixes: []string{"hep/internal/shard", "hep/internal/ooc", "hep/internal/obs"},
+	Run:          runNoLockedBlock,
+}
+
+func runNoLockedBlock(p *Pass) error {
+	p.WalkParents(func(n ast.Node, stack []ast.Node) bool {
+		var body *ast.BlockStmt
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			body = fn.Body
+		case *ast.FuncLit:
+			body = fn.Body
+		default:
+			return true
+		}
+		if body == nil {
+			return true
+		}
+		ls := &lockScan{p: p, fn: n}
+		ls.block(body.List, 0)
+		return true // nested FuncLits are visited as their own functions
+	})
+	return nil
+}
+
+type lockScan struct {
+	p  *Pass
+	fn ast.Node // enclosing function, for //hep:blocking-ok on the declaration
+}
+
+// block walks one statement list tracking how many locks are held. held is
+// the count inherited from enclosing blocks.
+func (ls *lockScan) block(stmts []ast.Stmt, held int) {
+	for _, s := range stmts {
+		if ls.syncCall(s, "Lock", "RLock") {
+			held++
+			continue
+		}
+		if ls.syncCall(s, "Unlock", "RUnlock") {
+			if held > 0 {
+				held--
+			}
+			continue
+		}
+		if d, ok := s.(*ast.DeferStmt); ok {
+			// defer mu.Unlock(): the lock stays held to function end —
+			// no state change; other defers are not scanned (see doc).
+			if isSyncMethod(ls.p.Info, d.Call, "Unlock", "RUnlock") {
+				continue
+			}
+		}
+		if held > 0 {
+			ls.scanBlocking(s)
+			continue
+		}
+		// Unlocked: descend into compound statements to find inner regions.
+		switch x := s.(type) {
+		case *ast.BlockStmt:
+			ls.block(x.List, held)
+		case *ast.IfStmt:
+			ls.block(x.Body.List, held)
+			if x.Else != nil {
+				ls.block([]ast.Stmt{x.Else}, held)
+			}
+		case *ast.ForStmt:
+			ls.block(x.Body.List, held)
+		case *ast.RangeStmt:
+			ls.block(x.Body.List, held)
+		case *ast.SwitchStmt:
+			for _, c := range x.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					ls.block(cc.Body, held)
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range x.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					ls.block(cc.Body, held)
+				}
+			}
+		case *ast.SelectStmt:
+			for _, c := range x.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					ls.block(cc.Body, held)
+				}
+			}
+		case *ast.LabeledStmt:
+			ls.block([]ast.Stmt{x.Stmt}, held)
+		}
+	}
+}
+
+// syncCall matches an ExprStmt that is a sync mutex method call with one of
+// the given names.
+func (ls *lockScan) syncCall(s ast.Stmt, names ...string) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	return ok && isSyncMethod(ls.p.Info, call, names...)
+}
+
+// isSyncMethod reports whether call invokes a method of package sync (or the
+// sync.Locker interface) with one of the given names.
+func isSyncMethod(info *types.Info, call *ast.CallExpr, names ...string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	match := false
+	for _, n := range names {
+		if sel.Sel.Name == n {
+			match = true
+		}
+	}
+	if !match {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync"
+}
+
+// scanBlocking reports blocking constructs anywhere in a statement executed
+// while a lock is held.
+func (ls *lockScan) scanBlocking(s ast.Stmt) {
+	ast.Inspect(s, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false // executes at an unrelated time
+		case *ast.DeferStmt:
+			return false // executes after the (deferred) unlock
+		case *ast.SendStmt:
+			ls.report(x.Pos(), "channel send")
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				ls.report(x.Pos(), "channel receive")
+			}
+		case *ast.SelectStmt:
+			ls.report(x.Pos(), "select")
+			return false
+		case *ast.RangeStmt:
+			if t := ls.p.Info.Types[x.X].Type; t != nil {
+				if _, isChan := types.Unalias(t).Underlying().(*types.Chan); isChan {
+					ls.report(x.Pos(), "range over channel")
+				}
+			}
+		case *ast.CallExpr:
+			ls.checkBlockingCall(x)
+		}
+		return true
+	})
+}
+
+func (ls *lockScan) checkBlockingCall(call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := ls.p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	name := sel.Sel.Name
+	switch fn.Pkg().Path() {
+	case "sync":
+		if name == "Wait" {
+			ls.report(call.Pos(), "sync Wait")
+		}
+	case "fmt":
+		if strings.HasPrefix(name, "Fprint") || strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fscan") || strings.HasPrefix(name, "Scan") {
+			ls.report(call.Pos(), "I/O via fmt."+name)
+		}
+	case "log":
+		ls.report(call.Pos(), "I/O via log."+name)
+	case "os", "bufio", "net":
+		switch name {
+		case "Write", "WriteString", "WriteByte", "WriteTo", "Read", "ReadFrom", "ReadString", "Flush", "Sync",
+			"ReadFile", "WriteFile", "Open", "OpenFile", "Create", "Remove", "Rename":
+			ls.report(call.Pos(), "I/O via "+fn.Pkg().Name()+" "+name)
+		}
+	case "io":
+		// Covers both package functions and io.Writer/io.Reader interface
+		// method calls (the method object lives in package io).
+		switch name {
+		case "Copy", "CopyN", "ReadAll", "ReadFull", "WriteString", "Write", "Read":
+			ls.report(call.Pos(), "I/O via io."+name)
+		}
+	}
+}
+
+func (ls *lockScan) report(pos token.Pos, what string) {
+	if a, ok := ls.p.AnnotationAt(pos, "blocking-ok"); ok {
+		if a.Why == "" {
+			ls.p.Reportf(a.Pos, "//hep:blocking-ok needs a one-line justification")
+		}
+		return
+	}
+	if a, ok := ls.p.FuncAnnotation(ls.fn, "blocking-ok"); ok {
+		if a.Why == "" {
+			ls.p.Reportf(a.Pos, "//hep:blocking-ok needs a one-line justification")
+		}
+		return
+	}
+	ls.p.Reportf(pos, "%s while holding a mutex (escape: //hep:blocking-ok <why>)", what)
+}

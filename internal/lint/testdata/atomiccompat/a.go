@@ -1,0 +1,46 @@
+// Fixture for the atomiccompat analyzer: fields touched via sync/atomic must
+// never be accessed plainly, unless the access carries //hep:unsync <why>.
+package atomiccompat
+
+import "sync/atomic"
+
+type table struct {
+	word  uint64
+	count int64
+	cold  int // never touched atomically: plain access is fine
+}
+
+func (t *table) bump() {
+	atomic.AddUint64(&t.word, 1)
+	atomic.AddInt64(&t.count, 1)
+}
+
+func (t *table) loadOK() uint64 {
+	return atomic.LoadUint64(&t.word)
+}
+
+func (t *table) bad() uint64 {
+	return t.word // want `plain access of word`
+}
+
+func (t *table) badWrite() {
+	t.count = 0 // want `plain access of count`
+}
+
+func (t *table) coldOK() int {
+	return t.cold
+}
+
+func (t *table) addrOK() *uint64 {
+	return &t.word // taking the address is not a plain access
+}
+
+//hep:unsync single-owner freeze phase: all writers have stopped
+func (t *table) frozen() uint64 {
+	return t.word
+}
+
+func (t *table) lineEscape() int64 {
+	//hep:unsync lane is quiescent between batches
+	return t.count
+}

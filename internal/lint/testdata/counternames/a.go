@@ -1,0 +1,57 @@
+// Fixture for the counternames analyzer: string-literal metric names indexed
+// out of Counters / Gauges / Histograms maps (or any map[string]HistogramRecord)
+// must exist in the obs registry. The analyzer matches these shapes
+// structurally, so the fixture declares look-alike types with no obs import.
+package counternames
+
+type HistogramRecord struct {
+	Counts []int64
+	Sum    int64
+}
+
+type report struct {
+	Counters   map[string]int64
+	Gauges     map[string]int64
+	Histograms map[string]HistogramRecord
+}
+
+type engine struct{ rep report }
+
+func (e *engine) CounterSnapshot() map[string]int64 { return e.rep.Counters }
+
+func knownNames(r *report) int64 {
+	a := r.Counters["edges_streamed"]
+	b := r.Counters["cas_retries"]
+	c := r.Gauges["peak_expanders"]
+	d := r.Histograms["batch_latency_ns"]
+	return a + b + c + d.Sum
+}
+
+func typos(r *report) int64 {
+	a := r.Counters["edges_streemed"] // want `not a declared counter name`
+	b := r.Gauges["peak_expander"]    // want `not a declared gauge name`
+	return a + b
+}
+
+func histByType(r *report) int64 {
+	hs := r.Histograms
+	rec := hs["made_up_hist"] // want `not a declared histogram name`
+	return rec.Sum
+}
+
+func snapshotCall(e *engine) int64 {
+	return e.CounterSnapshot()["batchez"] // want `not a declared counter name`
+}
+
+func nonConstOK(r *report, name string) int64 {
+	return r.Counters[name] // dynamic keys are out of scope
+}
+
+func unrelatedOK(m map[string]int64) int64 {
+	return m["whatever"] // not a metric map shape: no finding
+}
+
+func escaped(r *report) int64 {
+	//hep:anyname exercises the validator's unknown-name rejection path
+	return r.Counters["made_up"]
+}

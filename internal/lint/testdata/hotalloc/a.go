@@ -1,0 +1,71 @@
+// Fixture for the hotalloc analyzer: //hep:noalloc functions must contain no
+// allocating constructs.
+package hotalloc
+
+//hep:noalloc
+func sum(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+//hep:noalloc
+func badAppend(xs []int) []int {
+	return append(xs, 1) // want `append in //hep:noalloc function`
+}
+
+//hep:noalloc
+func badMake() []int {
+	return make([]int, 4) // want `make in //hep:noalloc function`
+}
+
+//hep:noalloc
+func badConcat(a, b string) string {
+	return a + b // want `string concatenation in //hep:noalloc function`
+}
+
+//hep:noalloc
+func badConvert(s string) []byte {
+	return []byte(s) // want `allocating conversion in //hep:noalloc function`
+}
+
+//hep:noalloc
+func badLiteral() []int {
+	return []int{1, 2, 3} // want `slice/map literal in //hep:noalloc function`
+}
+
+//hep:noalloc
+func badClosure() func() int {
+	return func() int { return 0 } // want `function literal in //hep:noalloc function`
+}
+
+//hep:noalloc
+func badBox(sink *any, v int) {
+	*sink = v // want `interface boxing of non-pointer value in //hep:noalloc function`
+}
+
+//hep:noalloc
+func okBoxPointer(sink *any, v *int) {
+	*sink = v // pointer-shaped: stored directly, no allocation
+}
+
+// Unannotated functions may allocate freely.
+func cold() []int {
+	return make([]int, 4)
+}
+
+// An annotated function literal promises its body is allocation-free; the
+// literal itself is built once at setup (the flush-closure pattern).
+func setup() func([]int) int {
+	total := 0
+	//hep:noalloc
+	flush := func(batch []int) int {
+		for _, x := range batch {
+			total += x
+		}
+		return total
+	}
+	return flush
+}

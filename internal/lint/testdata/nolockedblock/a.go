@@ -1,0 +1,79 @@
+// Fixture for the nolockedblock analyzer: no channel operations, sync Waits
+// or I/O while a sync mutex is held.
+package nolockedblock
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+type guarded struct {
+	mu sync.Mutex
+	ch chan int
+	n  int
+}
+
+func (g *guarded) fastPathOK() {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+	g.ch <- g.n // after the unlock: fine
+}
+
+func (g *guarded) printUnderLock() {
+	g.mu.Lock()
+	fmt.Fprintln(os.Stderr, g.n) // want `I/O via fmt.Fprintln while holding a mutex`
+	g.mu.Unlock()
+}
+
+func (g *guarded) sendUnderDeferredUnlock() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.ch <- 1 // want `channel send while holding a mutex`
+}
+
+func (g *guarded) receiveUnderLock() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return <-g.ch // want `channel receive while holding a mutex`
+}
+
+func (g *guarded) waitUnderLock(wg *sync.WaitGroup) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	wg.Wait() // want `sync Wait while holding a mutex`
+}
+
+func (g *guarded) selectUnderLock() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	select { // want `select while holding a mutex`
+	case v := <-g.ch:
+		g.n = v
+	default:
+	}
+}
+
+// The notify pattern: a literal built under the lock runs later, after the
+// unlock — its body is not part of the locked region.
+func (g *guarded) closureBuiltUnderLockOK() func() {
+	g.mu.Lock()
+	f := func() { fmt.Fprintln(os.Stderr, "later") }
+	g.mu.Unlock()
+	return f
+}
+
+func (g *guarded) annotatedLine() {
+	g.mu.Lock()
+	//hep:blocking-ok cold shutdown path, contention-free by construction
+	fmt.Fprintln(os.Stderr, g.n)
+	g.mu.Unlock()
+}
+
+//hep:blocking-ok whole function sanctioned: diagnostics dump, never hot
+func (g *guarded) annotatedFunc() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	fmt.Fprintln(os.Stderr, g.n)
+}

@@ -1,0 +1,87 @@
+// Fixture for the slabrelease analyzer: a callback taking a `release func()`
+// parameter (the lent-chunk convention) must call it on every path, or carry
+// //hep:xfer <why> where the obligation is handed off.
+package slabrelease
+
+type stream struct{}
+
+func (s *stream) chunks(yield func(edges []int, release func()) bool) {}
+
+func directOK(s *stream) {
+	s.chunks(func(edges []int, release func()) bool {
+		release()
+		return true
+	})
+}
+
+func deferOK(s *stream) {
+	s.chunks(func(edges []int, release func()) bool {
+		defer release()
+		return len(edges) > 0
+	})
+}
+
+func earlyReturnBad(s *stream) {
+	s.chunks(func(edges []int, release func()) bool {
+		if len(edges) == 0 {
+			return false // want `return without calling release\(\)`
+		}
+		release()
+		return true
+	})
+}
+
+func fallOffBad(s *stream) {
+	s.chunks(func(edges []int, release func()) bool {
+		if len(edges) > 0 {
+			release()
+		}
+		return true // want `return without calling release\(\)`
+	})
+}
+
+func bothBranchesOK(s *stream) {
+	s.chunks(func(edges []int, release func()) bool {
+		if len(edges) == 0 {
+			release()
+		} else {
+			release()
+		}
+		return true
+	})
+}
+
+func escapeBad(s *stream) {
+	var held func()
+	s.chunks(func(edges []int, release func()) bool {
+		held = release // want `release obligation escapes here`
+		return true
+	})
+	if held != nil {
+		held()
+	}
+}
+
+func escapeAnnotated(s *stream) {
+	var held func()
+	s.chunks(func(edges []int, release func()) bool {
+		//hep:xfer held past the pass on purpose; the caller runs it
+		held = release
+		return true
+	})
+	if held != nil {
+		held()
+	}
+}
+
+// A whole-callback waiver: the doc-level annotation transfers the obligation
+// for every path inside.
+func wholeFuncAnnotated(s *stream) {
+	//hep:xfer forwarded wholesale to an owner outside this fixture
+	s.chunks(func(edges []int, release func()) bool {
+		keep(release)
+		return true
+	})
+}
+
+func keep(f func()) { f() }

@@ -172,6 +172,8 @@ func NewCounters(w int) *Counters {
 }
 
 // Add accumulates d into worker w's lane. Nil-safe.
+//
+//hep:noalloc
 func (c *Counters) Add(w int, id CounterID, d int64) {
 	if c == nil || d == 0 {
 		return
@@ -186,6 +188,8 @@ func (c *Counters) Add(w int, id CounterID, d int64) {
 }
 
 // Total sums the lanes of one counter. Nil-safe (returns 0).
+//
+//hep:noalloc
 func (c *Counters) Total(id CounterID) int64 {
 	if c == nil {
 		return 0
@@ -198,6 +202,8 @@ func (c *Counters) Total(id CounterID) int64 {
 }
 
 // SetMax raises gauge g to v if v is larger (atomic max; cold path). Nil-safe.
+//
+//hep:noalloc
 func (c *Counters) SetMax(g GaugeID, v int64) {
 	if c == nil {
 		return
@@ -211,6 +217,8 @@ func (c *Counters) SetMax(g GaugeID, v int64) {
 }
 
 // Gauge returns the current value of gauge g. Nil-safe (returns 0).
+//
+//hep:noalloc
 func (c *Counters) Gauge(g GaugeID) int64 {
 	if c == nil {
 		return 0

@@ -64,6 +64,8 @@ type histLane struct {
 
 // Observe adds v to histogram id in worker w's lane. Nil-safe; negative
 // values clamp into bucket 0 with no sum contribution.
+//
+//hep:noalloc
 func (c *Counters) Observe(w int, id HistID, v int64) {
 	if c == nil {
 		return

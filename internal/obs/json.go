@@ -119,19 +119,13 @@ func ValidateReport(data []byte) error {
 	if r.Gauges == nil {
 		return fmt.Errorf("trace json: missing gauges object")
 	}
-	known := make(map[string]bool, NumCounters)
-	for id := CounterID(0); id < NumCounters; id++ {
-		known[id.String()] = true
-	}
+	known := nameSet(CounterNames())
 	for name := range r.Counters {
 		if !known[name] {
 			return fmt.Errorf("trace json: unknown counter %q", name)
 		}
 	}
-	knownG := make(map[string]bool, NumGauges)
-	for g := GaugeID(0); g < NumGauges; g++ {
-		knownG[g.String()] = true
-	}
+	knownG := nameSet(GaugeNames())
 	for name := range r.Gauges {
 		if !knownG[name] {
 			return fmt.Errorf("trace json: unknown gauge %q", name)
@@ -193,10 +187,7 @@ func ValidateReport(data []byte) error {
 		return fmt.Errorf("trace json: negative series_evicted")
 	}
 	// Histograms: stable names only, exact log2 bucket count, non-negative.
-	knownH := make(map[string]bool, NumHists)
-	for id := HistID(0); id < NumHists; id++ {
-		knownH[id.String()] = true
-	}
+	knownH := nameSet(HistogramNames())
 	for name, h := range r.Histograms {
 		if !knownH[name] {
 			return fmt.Errorf("trace json: unknown histogram %q", name)

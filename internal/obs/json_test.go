@@ -109,7 +109,9 @@ func TestValidateReportRejects(t *testing.T) {
 		wantErr string
 	}{
 		{"wrong-schema", func(r *Report) { r.Schema = "hep-trace/v0" }, "schema"},
+		//hep:anyname deliberately unknown: exercises ValidateReport's counter-name rejection
 		{"unknown-counter", func(r *Report) { r.Counters["made_up"] = 1 }, "unknown counter"},
+		//hep:anyname deliberately unknown: exercises ValidateReport's gauge-name rejection
 		{"unknown-gauge", func(r *Report) { r.Gauges["made_up"] = 1 }, "unknown gauge"},
 		{"root-with-depth", func(r *Report) { r.Spans[0].Depth = 2 }, "root with depth"},
 		{"bad-parent", func(r *Report) { r.Spans[1].Parent = 17 }, "parent"},
@@ -123,6 +125,7 @@ func TestValidateReportRejects(t *testing.T) {
 		{"negative-sample-metric", func(r *Report) { r.Series[1].RF = -0.5 }, "negative quality metrics"},
 		{"negative-series-evicted", func(r *Report) { r.SeriesEvicted = -2 }, "series_evicted"},
 		{"unknown-histogram", func(r *Report) {
+			//hep:anyname deliberately unknown: exercises ValidateReport's histogram-name rejection
 			r.Histograms["made_up"] = HistogramRecord{Counts: make([]int64, HistBuckets)}
 		}, "unknown histogram"},
 		{"wrong-bucket-count", func(r *Report) {

@@ -17,6 +17,11 @@ type Progress struct {
 	w        io.Writer
 	interval time.Duration
 
+	// wmu serializes writes to w only — never taken together with mu, so a
+	// blocked writer (stderr redirected to a full pipe) cannot convoy the
+	// span-notify path behind the state lock.
+	wmu sync.Mutex
+
 	mu      sync.Mutex
 	current string
 	// base/phaseT0 scope the percentage and ETA to the current root phase:
@@ -63,19 +68,19 @@ func (p *Progress) Stop() {
 
 func (p *Progress) onSpan(ev SpanEvent) {
 	indent := strings.Repeat("  ", ev.Depth)
+	var line string
 	p.mu.Lock()
 	if ev.End {
-		line := fmt.Sprintf("[hep] %sdone  %-14s %8s", indent, ev.Name, fmtDur(ev.WallNs))
+		line = fmt.Sprintf("[hep] %sdone  %-14s %8s", indent, ev.Name, fmtDur(ev.WallNs))
 		if ev.Edges > 0 && ev.WallNs > 0 {
 			rate := float64(ev.Edges) / (float64(ev.WallNs) / 1e9)
 			line += fmt.Sprintf("  %s edges  %s edges/s", fmtCount(ev.Edges), fmtCount(int64(rate)))
 		}
-		fmt.Fprintln(p.w, line)
 		if p.current == ev.Name {
 			p.current = ""
 		}
 	} else {
-		fmt.Fprintf(p.w, "[hep] %sphase %s\n", indent, ev.Name)
+		line = fmt.Sprintf("[hep] %sphase %s", indent, ev.Name)
 		p.current = ev.Name
 		if ev.Depth == 0 {
 			p.base = p.o.Counters().Total(CtrEdgesStreamed)
@@ -83,6 +88,17 @@ func (p *Progress) onSpan(ev SpanEvent) {
 		}
 	}
 	p.mu.Unlock()
+	p.emit(line)
+}
+
+// emit writes one finished progress line. The dedicated writer mutex keeps
+// concurrent span events and ticker reports from interleaving mid-line
+// without holding the state lock across the write.
+func (p *Progress) emit(line string) {
+	p.wmu.Lock()
+	//hep:blocking-ok wmu guards only this writer, never hot-path state
+	fmt.Fprintln(p.w, line)
+	p.wmu.Unlock()
 }
 
 func (p *Progress) loop() {
@@ -142,8 +158,8 @@ func (p *Progress) report(elapsed time.Duration) {
 		eta := time.Duration(float64(total-cur) / rate * 1e9)
 		line += fmt.Sprintf("  ETA %s", fmtDur(eta.Nanoseconds()))
 	}
-	fmt.Fprintln(p.w, line)
 	p.mu.Unlock()
+	p.emit(line)
 }
 
 // fmtDur renders nanoseconds compactly (1.23s / 45ms / 678µs).

@@ -1,0 +1,44 @@
+package obs
+
+// The metric-name registry: the single source of truth for every stable
+// counter, gauge and histogram name this package can emit. Trace-JSON
+// validation (ValidateReport), the /metrics exposition, the hep-trace diff
+// gate and the counternames static analyzer (internal/lint) all consult it,
+// so a name that is not declared next to its ID simply cannot appear
+// anywhere — in code or in an accepted trace.
+
+// CounterNames returns every declared counter name, in CounterID order.
+func CounterNames() []string {
+	out := make([]string, NumCounters)
+	for id := CounterID(0); id < NumCounters; id++ {
+		out[id] = id.String()
+	}
+	return out
+}
+
+// GaugeNames returns every declared gauge name, in GaugeID order.
+func GaugeNames() []string {
+	out := make([]string, NumGauges)
+	for g := GaugeID(0); g < NumGauges; g++ {
+		out[g] = g.String()
+	}
+	return out
+}
+
+// HistogramNames returns every declared histogram name, in HistID order.
+func HistogramNames() []string {
+	out := make([]string, NumHists)
+	for id := HistID(0); id < NumHists; id++ {
+		out[id] = id.String()
+	}
+	return out
+}
+
+// nameSet builds a membership set from a name list.
+func nameSet(names []string) map[string]bool {
+	m := make(map[string]bool, len(names))
+	for _, n := range names {
+		m[n] = true
+	}
+	return m
+}

@@ -426,6 +426,8 @@ func (b *Buffered) Partition(src graph.EdgeStream, k int) (*part.Result, error) 
 }
 
 // processBatch builds the mini-CSR over st.batch and places every batch edge.
+//
+//hep:unsync single-goroutine batch phases; atomic cursor bumps on off are confined to fillAdjacencyParallel
 func (b *Buffered) processBatch(st *batchState, localID []int32, res *part.Result, deg []int32, lambda float64, capacity int64) error {
 	b.LastStats.Batches++
 	pre := b.LastStats
@@ -535,6 +537,8 @@ func (b *Buffered) processBatch(st *batchState, localID []int32, res *part.Resul
 }
 
 // start returns the adjacency segment start of local vertex v.
+//
+//hep:unsync off is frozen (segment ends) once the adjacency fill completes; this phase only reads it
 func (st *batchState) start(v int32) int32 {
 	if v == 0 {
 		return 0

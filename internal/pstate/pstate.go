@@ -27,6 +27,7 @@ package pstate
 import (
 	"math/bits"
 
+	"hep/internal/check"
 	"hep/internal/graph"
 )
 
@@ -400,6 +401,30 @@ func Adopt(n, k int, dense []uint64, pages [][]uint64, vcount []int64, covered i
 	}
 	if t.extra > 0 && t.pages == nil {
 		t.pages = make([][]uint64, (n+PageVertices-1)/PageVertices)
+	}
+	if check.Enabled {
+		var exact int64
+		for v := 0; v < t.n; v++ {
+			if t.dense[v] != 0 {
+				exact++
+				continue
+			}
+			if t.extra > 0 {
+				for _, w := range t.page(graph.V(v)) {
+					if w != 0 {
+						exact++
+						break
+					}
+				}
+			}
+		}
+		if t.extra == 0 {
+			check.Assertf(t.covered == exact, "mask transplant: covered %d != %d vertices with replica bits", t.covered, exact)
+		} else {
+			// k > 64 first-bit races may overcount the running covered value
+			// (see shard.AtomicTable.Add); a transplant must never undercount.
+			check.Assertf(t.covered >= exact, "mask transplant: covered %d < %d vertices with replica bits", t.covered, exact)
+		}
 	}
 	return t
 }

@@ -123,6 +123,8 @@ func FromTable(t *pstate.Table) *AtomicTable {
 // Freeze converts the table back to a sequential pstate.Table, transplanting
 // the backing arrays. The AtomicTable is consumed; all workers must have
 // stopped before the call.
+//
+//hep:unsync single-owner transplant: every worker has stopped, the arrays move to the sequential table
 func (t *AtomicTable) Freeze() *pstate.Table {
 	var pages [][]uint64
 	if t.extra > 0 {

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hep/internal/check"
 	"hep/internal/graph"
 	"hep/internal/obs"
 )
@@ -42,7 +43,11 @@ type slabRef struct {
 }
 
 func (r *slabRef) drop() {
-	if r.rc.Add(-1) == 0 {
+	n := r.rc.Add(-1)
+	if check.Enabled {
+		check.Assertf(n >= 0, "slab refcount went negative (%d): more drops than holds", n)
+	}
+	if n == 0 {
 		r.release()
 	}
 }
@@ -136,6 +141,10 @@ func (e *engine) collect(c *obs.Counters, deliver func(edges []graph.Edge, parts
 	var next int64
 	pending := make(map[int64]*job)
 	for j := range e.results {
+		if check.Enabled {
+			_, dup := pending[j.seq]
+			check.Assertf(j.seq >= next && !dup, "reorder buffer: batch seq %d violates exactly-once delivery (next %d, duplicate %v)", j.seq, next, dup)
+		}
 		if j.seq != next {
 			c.Add(0, obs.CtrReorderStalls, 1)
 			if c != nil {
@@ -249,6 +258,7 @@ func (e *engine) dispatchLent(cs graph.ChunkStream, opts Options) error {
 	sizes := newSizeTracker(opts, e.maxBatch)
 	var seq int64
 	err := cs.Chunks(func(slab []graph.Edge, release func()) bool {
+		//hep:xfer release moves into the slabRef; the last sub-batch drop (in collect) runs it
 		ref := &slabRef{release: release}
 		ref.rc.Store(1) // dispatcher hold, dropped after the slice loop
 		for off := 0; off < len(slab); {
@@ -310,6 +320,7 @@ func runOne(src graph.EdgeStream, cs graph.ChunkStream, lend bool, w BatchPlacer
 	c := opts.Obs
 	sizes := newSizeTracker(opts, maxBatch)
 	parts := make([]int32, maxBatch)
+	//hep:noalloc
 	flush := func(edges []graph.Edge) {
 		if c != nil {
 			t0 := time.Now()

@@ -1,0 +1,36 @@
+//go:build hepcheck
+
+package shard
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestHepcheckRefcountCorruptionPanics proves the hepcheck build actually
+// bites: deliberately over-dropping a slabRef drives its refcount negative,
+// which must panic with the hepcheck prefix instead of silently re-running
+// (or never running) the release callback.
+func TestHepcheckRefcountCorruptionPanics(t *testing.T) {
+	released := 0
+	r := &slabRef{release: func() { released++ }}
+	r.rc.Store(1)
+	r.drop() // 1 → 0: legitimate final drop, runs release
+	if released != 1 {
+		t.Fatalf("release ran %d times after the final drop, want 1", released)
+	}
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("over-dropping a slabRef did not panic under -tags=hepcheck")
+		}
+		msg, ok := p.(string)
+		if !ok || !strings.Contains(msg, "hepcheck:") || !strings.Contains(msg, "refcount went negative") {
+			t.Fatalf("panic %v, want a hepcheck refcount message", p)
+		}
+		if released != 1 {
+			t.Fatalf("corrupted drop ran release again (%d times)", released)
+		}
+	}()
+	r.drop() // 0 → -1: corruption, must trip the assertion
+}

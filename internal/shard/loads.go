@@ -3,6 +3,7 @@ package shard
 import (
 	"sync"
 
+	"hep/internal/check"
 	"hep/internal/obs"
 	"hep/internal/pstate"
 )
@@ -41,6 +42,8 @@ func (s *ShardedLoads) SetObs(c *obs.Counters) { s.obs = c }
 
 // Inc records one edge assigned to partition p in worker w's lane. Only
 // worker w may call it (single-writer per lane, lock-free).
+//
+//hep:noalloc
 func (s *ShardedLoads) Inc(w, p int) { s.deltas[w][p]++ }
 
 // Fold merges worker w's lane into the global tracker and clears the lane.
@@ -48,12 +51,34 @@ func (s *ShardedLoads) Inc(w, p int) { s.deltas[w][p]++ }
 func (s *ShardedLoads) Fold(w int) {
 	d := s.deltas[w]
 	s.mu.Lock()
-	s.global.Merge(d)
+	s.mergeChecked(d)
 	s.mu.Unlock()
 	for p := range d {
 		d[p] = 0
 	}
 	s.obs.Add(w, obs.CtrFolds, 1)
+}
+
+// mergeChecked folds lane d into the global tracker. Under hepcheck it
+// asserts the fold window conserves edge totals — the global gains exactly
+// the lane sum, nothing lost or double-counted. Caller holds s.mu.
+func (s *ShardedLoads) mergeChecked(d []int64) {
+	if check.Enabled {
+		var before, lane, after int64
+		for _, c := range s.global.Counts() {
+			before += c
+		}
+		for _, x := range d {
+			lane += x
+		}
+		s.global.Merge(d)
+		for _, c := range s.global.Counts() {
+			after += c
+		}
+		check.Assertf(after == before+lane, "fold window not conserved: global %d + lane %d != %d", before, lane, after)
+		return
+	}
+	s.global.Merge(d)
 }
 
 // FoldSnapshot merges worker w's lane into the global tracker and copies the
@@ -65,7 +90,7 @@ func (s *ShardedLoads) Fold(w int) {
 func (s *ShardedLoads) FoldSnapshot(w int, dst []int64) (max, min int64, argmin int) {
 	d := s.deltas[w]
 	s.mu.Lock()
-	s.global.Merge(d)
+	s.mergeChecked(d)
 	copy(dst, s.global.Counts())
 	max, min, argmin = s.global.Max(), s.global.Min(), s.global.ArgMin()
 	s.mu.Unlock()

@@ -155,6 +155,7 @@ func (s AbortStream) Chunks(yield func(edges []graph.Edge, release func()) bool)
 			release()
 			return false
 		}
+		//hep:xfer forwarded to the wrapped consumer, which inherits the release obligation
 		return yield(edges, release)
 	})
 }

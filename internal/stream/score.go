@@ -61,6 +61,8 @@ func capFor(alpha float64, m int64, k int) int64 {
 // Only candidate partitions are scored (see the package comment). Ties
 // break toward the lower load, then the lower index, matching a full
 // ascending scan and keeping runs deterministic.
+//
+//hep:noalloc
 func bestHDRF(res *part.Result, u, v graph.V, du, dv int32, lambda float64, capacity int64) int {
 	return bestHDRFSplit(res.Reps, res, u, v, du, dv, lambda, capacity)
 }
@@ -86,6 +88,8 @@ type RepView interface {
 // in lockstep — internal/parttest/equiv_test.go pins both (sequential
 // directly, parallel through the quality/conformance suites) to the same
 // partition-major reference.
+//
+//hep:noalloc
 func bestHDRFSplit(reps *pstate.Table, res *part.Result, u, v graph.V, du, dv int32, lambda float64, capacity int64) int {
 	maxLoad, minLoad := res.Loads.Max(), res.Loads.Min()
 	counts := res.Counts
@@ -133,6 +137,8 @@ func bestHDRFSplit(reps *pstate.Table, res *part.Result, u, v graph.V, du, dv in
 // view — the worker's bounded-staleness snapshot plus its own in-batch
 // increments, with argmin < 0 when no admissible fallback partition exists.
 // Keep the loop identical to bestHDRFSplit above.
+//
+//hep:noalloc
 func bestHDRFView(reps RepView, counts []int64, maxLoad, minLoad int64, argmin int, u, v graph.V, du, dv int32, lambda float64, capacity int64) int {
 	cand := reps.Candidates(u, v)
 	if argmin >= 0 {
