@@ -104,6 +104,17 @@ func BenchmarkTable6(b *testing.B) {
 	}
 }
 
+// BenchmarkRefine regenerates the refinement table (HDRF baseline vs the
+// boundary-move and split-merge post-passes); `hep-bench -exp refine`
+// prints it at full scale.
+func BenchmarkRefine(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := expt.TableRefine(benchConfig("OK", "LJ")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- Per-algorithm microbenchmarks on a fixed power-law graph ---
 
 func benchGraph() *MemGraph {

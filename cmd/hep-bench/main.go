@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig2|fig5|fig7|fig8|fig9|table2|table3|table4|table5|table6|ooc|state|shard|build|expand|ingest|all")
+		exp      = flag.String("exp", "all", "experiment: fig2|fig5|fig7|fig8|fig9|table2|table3|table4|table5|table6|ooc|state|shard|build|expand|ingest|refine|all")
 		scale    = flag.Float64("scale", 0.25, "dataset scale factor")
 		datasets = flag.String("datasets", "", "comma-separated dataset names (default per experiment)")
 		ks       = flag.String("k", "", "comma-separated partition counts (default per experiment)")
@@ -77,8 +77,9 @@ func main() {
 		"build":  func(c expt.Config) error { _, err := expt.TableBuild(c); return err },
 		"expand": func(c expt.Config) error { _, err := expt.TableExpand(c); return err },
 		"ingest": func(c expt.Config) error { _, err := expt.TableIngest(c); return err },
+		"refine": expt.TableRefine,
 	}
-	order := []string{"table3", "fig2", "fig5", "fig7", "fig8", "fig9", "table2", "table4", "table5", "table6", "ooc", "state", "shard", "build", "expand", "ingest"}
+	order := []string{"table3", "fig2", "fig5", "fig7", "fig8", "fig9", "table2", "table4", "table5", "table6", "ooc", "state", "shard", "build", "expand", "ingest", "refine"}
 
 	if *exp == "all" {
 		for _, name := range order {

@@ -12,6 +12,7 @@
 //	hep-partition -in graph.bin -k 32 -algo buffered -buffer 1048576
 //	hep-partition -in graph.bin -k 32 -algo buffered -budget 536870912
 //	hep-partition -in graph.bin -k 128 -algo hdrf -assign out.txt
+//	hep-partition -in graph.bin -k 32 -algo hdrf -refine moves
 //	hep-partition -in graph.bin -k 32 -algo hdrf -workers 8
 //	hep-partition -in graph.bin -k 32 -algo hdrf -workers 8 -mmap
 //	hep-partition -in graph.bin -k 32 -workers 4 -v -trace-json trace.json -metrics-addr :6060
@@ -47,6 +48,12 @@ func main() {
 			"(0 = all cores, 1 = exact sequential path; algorithms with no parallel path reject > 1)")
 		budget = flag.Int64("budget", 0, "if > 0, fit the partitioner to this many bytes: "+
 			"picks τ for -algo hep (§4.4), sizes the edge buffer for -algo buffered")
+		refineMode = flag.String("refine", "", "run the local-search refinement post-pass on the "+
+			"finalized partitioning: "+hep.RefineMoves+" (boundary-vertex move rounds) or "+
+			hep.RefineSplitMerge+" (over-partition, merge back, then move rounds)")
+		refineRounds  = flag.Int("refine-rounds", 0, "bound the refinement move rounds (0 = default 4)")
+		refineWorkers = flag.Int("refine-workers", 0, "refinement parallelism, independent of -workers "+
+			"(0 = all cores, 1 = deterministic sequential path)")
 		mmap = flag.Bool("mmap", false, "memory-map the input instead of streaming it through the "+
 			"chunked reader: zero-copy ingest on little-endian hosts (falls back to positioned reads "+
 			"where mmap is unavailable)")
@@ -76,6 +83,7 @@ func main() {
 		Algorithm: *algo, K: *k, Tau: *tau,
 		Alpha: *alpha, Lambda: *lambda, Seed: *seed,
 		Buffer: *buffer, MemBudget: *budget, Workers: *workers, BatchEdges: *batch,
+		Refine: *refineMode, RefineRounds: *refineRounds, RefineWorkers: *refineWorkers,
 	}
 
 	// One observability hub feeds all three surfaces: the trace file, the

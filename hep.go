@@ -55,6 +55,7 @@ import (
 	"hep/internal/obs"
 	"hep/internal/ooc"
 	"hep/internal/part"
+	"hep/internal/refine"
 	"hep/internal/restream"
 	"hep/internal/shard"
 	"hep/internal/stream"
@@ -120,6 +121,17 @@ const (
 	AlgoBuffered     = "buffered" // out-of-core buffered streaming (internal/ooc)
 )
 
+// Refinement modes accepted by Config.Refine (internal/refine post-pass).
+const (
+	// RefineMoves runs parallel boundary-vertex move rounds on the
+	// algorithm's own k-way output: RF never gets worse, balance never
+	// exceeds the (1+ε)·m/k guard.
+	RefineMoves = refine.ModeMoves
+	// RefineSplitMerge over-partitions into 2·k buckets, greedily merges
+	// back to k by max-overlap pairing, then runs the move rounds.
+	RefineSplitMerge = refine.ModeSplitMerge
+)
+
 // Config selects and parameterizes a partitioner.
 type Config struct {
 	// Algorithm is one of the Algo* constants (default AlgoHEP).
@@ -173,6 +185,21 @@ type Config struct {
 	// picks the largest τ whose §4.2 footprint fits (AlgoHEP) or sizes the
 	// edge buffer to fit (AlgoBuffered).
 	MemBudget int64
+	// Refine, if non-empty, runs the local-search refinement post-pass
+	// (internal/refine) after the algorithm finalizes its Result:
+	// RefineMoves or RefineSplitMerge. The pass composes with every
+	// algorithm in RefinableAlgorithms; other algorithms are rejected by
+	// New/FitBudget. With a Sink attached, the sink observes the refined
+	// assignment (each edge exactly once), not the intermediate one.
+	Refine string
+	// RefineRounds bounds the refinement move rounds (0 = the refine
+	// default, 4; rounds stop early once no positive-gain move remains).
+	RefineRounds int
+	// RefineWorkers is the refinement pass's own parallelism, independent
+	// of Workers (refinement is parallel-safe even for the sequential
+	// algorithms): 0 resolves to GOMAXPROCS, 1 forces the deterministic
+	// sequential path.
+	RefineWorkers int
 	// Sink, if set, receives every edge assignment.
 	Sink Sink
 	// Obs, if set, receives runtime observability from the algorithms that
@@ -188,6 +215,47 @@ type Config struct {
 // engine (internal/shard) plus DNE's concurrent expanders.
 func ParallelAlgorithms() []string {
 	return []string{AlgoHEP, AlgoNEPP, AlgoHDRF, AlgoRestream, AlgoBuffered, AlgoDNE}
+}
+
+// RefinableAlgorithms lists the Config.Algorithm values that accept
+// Config.Refine. The refinement post-pass captures the per-edge assignment
+// through the algorithm's sink and replays it against the finalized
+// Result's live replica table, so it is gated to the algorithms whose
+// capture → refine → replay path the refined conformance matrix
+// (internal/parttest) pins; the rest are rejected up front — the same
+// fail-fast contract as the Workers > 1 gate — instead of running an
+// unvalidated combination that would at worst surface as a dead-table
+// panic inside the post-pass.
+func RefinableAlgorithms() []string {
+	return []string{
+		AlgoHEP, AlgoNEPP, AlgoNE, AlgoSNE, AlgoMETIS, AlgoHDRF, AlgoDBH,
+		AlgoGreedy, AlgoGrid, AlgoRandom, AlgoSimpleHybrid, AlgoRestream,
+		AlgoBuffered,
+	}
+}
+
+// checkRefine validates the Config.Refine knobs against the selected
+// algorithm; name must already be defaulted.
+func checkRefine(name string, cfg Config) error {
+	if cfg.Refine == "" {
+		return nil
+	}
+	if !refine.ValidMode(cfg.Refine) {
+		return fmt.Errorf("hep: unknown refine mode %q (want %q or %q)", cfg.Refine, RefineMoves, RefineSplitMerge)
+	}
+	if cfg.RefineWorkers < 0 {
+		return fmt.Errorf("hep: RefineWorkers must be ≥ 0, got %d", cfg.RefineWorkers)
+	}
+	if cfg.RefineRounds < 0 {
+		return fmt.Errorf("hep: RefineRounds must be ≥ 0, got %d", cfg.RefineRounds)
+	}
+	for _, r := range RefinableAlgorithms() {
+		if name == r {
+			return nil
+		}
+	}
+	return fmt.Errorf("hep: algorithm %q is not covered by the refinement post-pass; Refine must be empty — refinable algorithms: %v",
+		name, RefinableAlgorithms())
 }
 
 // shardWorkers resolves Config.Workers for the shard-capable algorithms:
@@ -262,6 +330,17 @@ func New(cfg Config) (Algorithm, error) {
 			return nil, fmt.Errorf("hep: algorithm %q has no parallel path (order-sensitive or in-memory); Workers must be ≤ 1, got %d — parallel algorithms: %v",
 				name, cfg.Workers, ParallelAlgorithms())
 		}
+	}
+	if err := checkRefine(name, cfg); err != nil {
+		return nil, err
+	}
+	if cfg.Refine != "" {
+		a = refine.Wrap(a, refine.Options{
+			Mode:    cfg.Refine,
+			Rounds:  cfg.RefineRounds,
+			Workers: shard.Options{Workers: cfg.RefineWorkers}.Resolve(),
+			Obs:     cfg.Obs,
+		})
 	}
 	if cfg.Sink != nil {
 		ss, ok := a.(part.SinkSetter)
@@ -373,12 +452,18 @@ func FitBudget(src EdgeStream, cfg Config) (Config, error) {
 	if cfg.Workers < 0 {
 		return cfg, fmt.Errorf("hep: Workers must be ≥ 0, got %d", cfg.Workers)
 	}
-	if cfg.MemBudget <= 0 {
-		return cfg, nil
-	}
 	name := cfg.Algorithm
 	if name == "" {
 		name = AlgoHEP
+	}
+	// Refine is validated even without a budget: FitBudget is the front
+	// door of PartitionFile/PartitionStream, and a bad combination must
+	// fail here, not as a dead-table panic after a long run.
+	if err := checkRefine(name, cfg); err != nil {
+		return cfg, err
+	}
+	if cfg.MemBudget <= 0 {
+		return cfg, nil
 	}
 	switch name {
 	case AlgoHEP:
@@ -469,7 +554,12 @@ func PartitionStream(src EdgeStream, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if h, ok := a.(*core.HEP); ok {
+	// A refined HEP still needs the on-disk spill store on its inner run.
+	inner := a
+	if rw, ok := a.(*refine.Refined); ok {
+		inner = rw.Inner
+	}
+	if h, ok := inner.(*core.HEP); ok {
 		store, err := ooc.NewVarintH2H("")
 		if err != nil {
 			return nil, err

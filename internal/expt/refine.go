@@ -1,0 +1,68 @@
+package expt
+
+import (
+	"hep/internal/refine"
+	"hep/internal/stream"
+)
+
+// RefineRow is one (dataset, k) measurement of the refinement post-pass:
+// the unrefined streaming baseline and both refinement modes over it. The
+// "RF" and "Balance" columns carry the gate-standard names so hep-trace gate
+// holds refined runs to the usual regression tolerances.
+type RefineRow struct {
+	Dataset      string  `json:"dataset"`
+	K            int     `json:"k"`
+	RF           float64 `json:"RF"` // unrefined HDRF baseline
+	RFMoves      float64 `json:"RFMoves"`
+	RFSplitMerge float64 `json:"RFSplitMerge"`
+	Balance      float64 `json:"Balance"` // after boundary-move refinement
+	Rounds       int     `json:"rounds"`
+	Moves        int64   `json:"moves"`
+	Seconds      float64 `json:"seconds"` // boundary-move refined run, end to end
+}
+
+// TableRefine measures the local-search refinement stage over the streaming
+// baseline: HDRF alone, HDRF + boundary moves, and HDRF + split-merge on the
+// social stand-ins. The paper's pipeline ends where the partitioner stops;
+// this table quantifies how much replication a post-pass claws back without
+// breaking the balance bound.
+func TableRefine(cfg Config) error {
+	t := newTable(cfg.out(), "Refinement: HDRF baseline vs post-pass modes")
+	t.row("Dataset", "K", "RF", "RF+moves", "RF+split-merge", "Balance", "Rounds", "Moves", "Seconds")
+	var rows []RefineRow
+	for _, name := range cfg.datasets("OK", "TW", "LJ") {
+		g := cfg.build(name)
+		for _, k := range cfg.ks(32, 128) {
+			base, _, err := Measure(&stream.HDRF{}, g, k)
+			if err != nil {
+				return err
+			}
+			moves := refine.Wrap(&stream.HDRF{}, refine.Options{Mode: refine.ModeMoves})
+			mst, mres, err := Measure(moves, g, k)
+			if err != nil {
+				return err
+			}
+			merge := refine.Wrap(&stream.HDRF{}, refine.Options{Mode: refine.ModeSplitMerge})
+			_, sres, err := Measure(merge, g, k)
+			if err != nil {
+				return err
+			}
+			row := RefineRow{
+				Dataset:      name,
+				K:            k,
+				RF:           base.ReplicationFactor,
+				RFMoves:      mres.ReplicationFactor(),
+				RFSplitMerge: sres.ReplicationFactor(),
+				Balance:      mres.Balance(),
+				Rounds:       moves.Last.MoveStats.Rounds,
+				Moves:        moves.Last.MoveStats.Applied,
+				Seconds:      mst.Seconds,
+			}
+			rows = append(rows, row)
+			t.row(row.Dataset, row.K, row.RF, row.RFMoves, row.RFSplitMerge,
+				row.Balance, row.Rounds, row.Moves, row.Seconds)
+		}
+	}
+	t.flush()
+	return cfg.report("refine", rows)
+}

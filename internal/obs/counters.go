@@ -67,6 +67,18 @@ const (
 	// CtrBatchResizes counts dispatch batches whose adaptive size differed
 	// from the previous batch's (capacity-aware batch sizing at work).
 	CtrBatchResizes
+	// CtrRefineRounds counts local-search refinement rounds executed by the
+	// post-pass (internal/refine), including a round that was reverted.
+	CtrRefineRounds
+	// CtrMovesApplied counts boundary-vertex moves the refinement pass
+	// applied (a move that claimed at least one edge).
+	CtrMovesApplied
+	// CtrMovesRejectedBalance counts refinement moves rejected because the
+	// target partition had no headroom under the (1+ε)·m/k balance guard.
+	CtrMovesRejectedBalance
+	// CtrGainRecomputes counts candidate-gain evaluations in the refinement
+	// scan phase (one per boundary vertex × hosting partition × target).
+	CtrGainRecomputes
 
 	// NumCounters is the number of counter slots.
 	NumCounters
@@ -75,24 +87,28 @@ const (
 // counterNames are the stable machine-readable names used by the trace-JSON
 // schema and the expvar endpoint.
 var counterNames = [NumCounters]string{
-	CtrEdgesStreamed:       "edges_streamed",
-	CtrBatches:             "batches",
-	CtrCASRetries:          "cas_retries",
-	CtrReorderStalls:       "reorder_stalls",
-	CtrFolds:               "fold_windows",
-	CtrWarmSpills:          "warm_bucket_spills",
-	CtrSpillBytes:          "varint_spill_bytes",
-	CtrFallbackEdges:       "fallback_edges",
-	CtrExpansionEdges:      "expansion_edges",
-	CtrRegions:             "regions",
-	CtrWarmMaskPasses:      "warm_mask_passes",
-	CtrWarmScanProbes:      "warm_scan_probes",
-	CtrWarmRescans:         "warm_rescans",
-	CtrParallelBatches:     "parallel_batches",
-	CtrChunksLent:          "chunks_lent",
-	CtrChunkCopyFallbacks:  "chunk_copy_fallbacks",
-	CtrBytesCopiedDispatch: "bytes_copied_dispatch",
-	CtrBatchResizes:        "batch_resizes",
+	CtrEdgesStreamed:        "edges_streamed",
+	CtrBatches:              "batches",
+	CtrCASRetries:           "cas_retries",
+	CtrReorderStalls:        "reorder_stalls",
+	CtrFolds:                "fold_windows",
+	CtrWarmSpills:           "warm_bucket_spills",
+	CtrSpillBytes:           "varint_spill_bytes",
+	CtrFallbackEdges:        "fallback_edges",
+	CtrExpansionEdges:       "expansion_edges",
+	CtrRegions:              "regions",
+	CtrWarmMaskPasses:       "warm_mask_passes",
+	CtrWarmScanProbes:       "warm_scan_probes",
+	CtrWarmRescans:          "warm_rescans",
+	CtrParallelBatches:      "parallel_batches",
+	CtrChunksLent:           "chunks_lent",
+	CtrChunkCopyFallbacks:   "chunk_copy_fallbacks",
+	CtrBytesCopiedDispatch:  "bytes_copied_dispatch",
+	CtrBatchResizes:         "batch_resizes",
+	CtrRefineRounds:         "refine_rounds",
+	CtrMovesApplied:         "moves_applied",
+	CtrMovesRejectedBalance: "moves_rejected_balance",
+	CtrGainRecomputes:       "gain_recomputes",
 }
 
 // String returns the counter's stable snake_case name.

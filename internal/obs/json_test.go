@@ -27,12 +27,25 @@ func goldenReport() *Obs {
 	o.Span("batch-0").Edges(500).Bytes(4096).End()
 	sp.Edges(1000).End()
 
+	// The refinement post-pass span tree: refine > refine-merge (split-merge
+	// pairing) and refine > refine-moves > refine-round.
+	rsp := o.Span("refine")
+	o.Span("refine-merge").Edges(2000).End()
+	msp := o.Span("refine-moves")
+	o.Span("refine-round").Edges(24).End()
+	msp.End()
+	rsp.End()
+
 	c := o.Counters()
 	c.Add(0, CtrEdgesStreamed, 1000)
 	c.Add(1, CtrEdgesStreamed, 500)
 	c.Add(0, CtrBatches, 2)
 	c.Add(1, CtrCASRetries, 3)
 	c.Add(0, CtrSpillBytes, 1<<16)
+	c.Add(0, CtrRefineRounds, 1)
+	c.Add(0, CtrMovesApplied, 12)
+	c.Add(1, CtrMovesRejectedBalance, 2)
+	c.Add(1, CtrGainRecomputes, 64)
 	c.SetMax(GaugePeakExpanders, 2)
 
 	c.Observe(0, HistBatchNs, 1_500_000)
@@ -131,6 +144,21 @@ func TestValidateReportRejects(t *testing.T) {
 		{"wrong-bucket-count", func(r *Report) {
 			r.Histograms["batch_latency_ns"] = HistogramRecord{Counts: make([]int64, 10)}
 		}, "buckets"},
+		// The refinement additions are held to the same schema rules: a
+		// refine span with a dangling parent and a renamed refine counter
+		// must both be rejected.
+		{"refine-span-bad-parent", func(r *Report) {
+			for i := range r.Spans {
+				if r.Spans[i].Name == "refine-round" {
+					r.Spans[i].Parent = 17
+				}
+			}
+		}, "parent"},
+		{"renamed-refine-counter", func(r *Report) {
+			delete(r.Counters, "refine_rounds")
+			//hep:anyname deliberately unknown: a renamed counter is schema drift
+			r.Counters["refine_roundz"] = 1
+		}, "unknown counter"},
 		{"negative-bucket-count", func(r *Report) {
 			h := r.Histograms["batch_latency_ns"]
 			h.Counts[3] = -1
